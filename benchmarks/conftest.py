@@ -1,0 +1,25 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper on the
+simulated machine, asserts the paper's qualitative *shape* (who wins,
+where crossovers fall), wall-clock-benchmarks a representative kernel
+with pytest-benchmark, and writes the regenerated series to
+``benchmarks/results/<name>.txt`` for inspection (EXPERIMENTS.md quotes
+these files).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Write a result table to benchmarks/results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)
+    return text

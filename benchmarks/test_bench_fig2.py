@@ -1,0 +1,58 @@
+"""Figure 2: the auxiliary-variable technique has a measurable price.
+
+P1 = allreduce (+) and P2 = map pair; allreduce (op_new); map π1 compute
+the same result (the figure's diagram), but P2 ships pairs and applies
+two base operations per element — the benchmark quantifies the overhead
+the paper's §2.3 calls "obviously higher".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, BinOp
+from repro.core.stages import AllReduceStage, MapStage, Program
+from repro.machine import simulate_program
+from repro.semantics.functional import pair, pi1
+
+OP_NEW = BinOp("op_new", lambda a, b: (a[0] + b[0], a[1] * b[1]),
+               commutative=True, op_count=2, width=2)
+
+P1 = Program([AllReduceStage(ADD)], name="P1")
+P2 = Program(
+    [MapStage(pair, label="pair"), AllReduceStage(OP_NEW), MapStage(pi1, label="pi_1")],
+    name="P2",
+)
+SIZES = [4, 8, 16, 32, 64]
+
+
+def sweep():
+    rows = []
+    for p in SIZES:
+        params = MachineParams(p=p, ts=600.0, tw=2.0, m=1024)
+        xs = [i + 1 for i in range(p)]
+        s1 = simulate_program(P1, xs, params)
+        s2 = simulate_program(P2, xs, params)
+        rows.append((p, s1.time, s2.time, list(s1.values) == list(s2.values)))
+    return rows
+
+
+def test_fig2_equivalence_and_cost(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        "P1 = allreduce(+);  P2 = map pair; allreduce(op_new); map pi_1",
+        f"{'procs':>6} {'T(P1)':>12} {'T(P2)':>12} {'equal?':>8}",
+    ]
+    for p, t1, t2, equal in rows:
+        lines.append(f"{p:>6} {t1:>12.0f} {t2:>12.0f} {'yes' if equal else 'NO':>8}")
+        assert equal           # the semantic equality of Figure 2
+        assert t2 > t1         # and the paper's cost observation
+    emit("fig2_p1_vs_p2", lines)
+
+    # the concrete diagram values: input [1,2,3,4] -> all 10s, and P2's
+    # intermediate carries the product 24
+    assert P1.run([1, 2, 3, 4]) == [10, 10, 10, 10]
+    inner = Program([MapStage(pair), AllReduceStage(OP_NEW)])
+    assert inner.run([1, 2, 3, 4]) == [(10, 24)] * 4

@@ -1,0 +1,77 @@
+"""Ablation: flat vs. hierarchical collectives on a cluster of SMPs.
+
+The paper's §2.2 points to clusters of SMPs (the SIMPLE methodology) as
+a target for its program format.  This benchmark quantifies why
+hierarchy matters there: flat butterfly/binomial algorithms funnel one
+message per *core* through each node's network interface during the
+inter-node phases, while hierarchical algorithms send one message per
+*node*.  Sweeping the cores-per-node at a fixed total machine size, the
+flat broadcast's cost grows with the contention factor; the hierarchical
+one stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.core.operators import ADD
+from repro.machine.collectives import allreduce_butterfly, bcast_binomial
+from repro.machine.engine import run_spmd
+from repro.machine.hierarchical import (
+    TwoLevelParams,
+    allreduce_hierarchical,
+    bcast_hierarchical,
+)
+
+P = 64
+TS_INTER, TW_INTER = 2000.0, 4.0
+TS_INTRA, TW_INTRA = 20.0, 0.2
+SHAPES = [(64, 1), (32, 2), (16, 4), (8, 8), (4, 16)]  # (nodes, cores)
+
+
+def _run(fn, inputs, params, *args):
+    def prog(ctx, x):
+        out = yield from fn(ctx, x, *args)
+        return out
+
+    return run_spmd(prog, inputs, params)
+
+
+def sweep():
+    rows = []
+    for nodes, cores in SHAPES:
+        params = TwoLevelParams(p=P, ts=TS_INTER, tw=TW_INTER, m=256,
+                                nodes=nodes, cores=cores,
+                                ts_intra=TS_INTRA, tw_intra=TW_INTRA)
+        xs = [3] + [0] * (P - 1)
+        t_flat_b = _run(bcast_binomial, xs, params).time
+        t_hier_b = _run(bcast_hierarchical, xs, params).time
+        ys = list(range(P))
+        t_flat_a = _run(allreduce_butterfly, ys, params, ADD).time
+        t_hier_a = _run(allreduce_hierarchical, ys, params, ADD).time
+        rows.append((nodes, cores, t_flat_b, t_hier_b, t_flat_a, t_hier_a))
+    return rows
+
+
+def test_hierarchical_vs_flat(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        f"p = {P}, inter (ts,tw) = ({TS_INTER},{TW_INTER}), "
+        f"intra = ({TS_INTRA},{TW_INTRA}), m = 256",
+        f"{'nodes':>6} {'cores':>6} {'bcast flat':>12} {'bcast hier':>12} "
+        f"{'allred flat':>12} {'allred hier':>12}",
+    ]
+    for nodes, cores, fb, hb, fa, ha in rows:
+        lines.append(f"{nodes:>6} {cores:>6} {fb:>12.0f} {hb:>12.0f} "
+                     f"{fa:>12.0f} {ha:>12.0f}")
+        # hierarchy never loses; it wins strictly once nodes have >1 core
+        assert hb <= fb + 1e-9
+        assert ha <= fa + 1e-9
+        if cores > 1:
+            assert hb < fb
+            assert ha < fa
+    # the hierarchical advantage grows with cores-per-node (contention)
+    gains = [fb / hb for _n, c, fb, hb, _fa, _ha in rows if c > 1]
+    assert gains == sorted(gains)
+    emit("ablation_hierarchical", lines)

@@ -1,0 +1,74 @@
+"""Ablation: optimizer search strategies (greedy vs. exhaustive).
+
+On the composed Example;Next_Example pipeline both strategies are run
+across machine profiles; exhaustive search must never lose to greedy on
+final cost, and the wall-clock price of exhaustiveness is benchmarked.
+Also reproduces the SS2-Scan §4.2 crossover as an end-to-end optimizer
+decision sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.apps import build_composed_pipeline
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, MUL
+from repro.core.optimizer import exhaustive_optimize, greedy_optimize
+from repro.core.stages import Program, ScanStage
+
+MACHINES = {
+    "low-latency": MachineParams(p=16, ts=5.0, tw=0.1, m=1024),
+    "parsytec": MachineParams(p=16, ts=600.0, tw=2.0, m=1024),
+    "wan": MachineParams(p=16, ts=50_000.0, tw=10.0, m=1024),
+}
+
+
+def run_both():
+    rows = []
+    prog = build_composed_pipeline()
+    for label, params in MACHINES.items():
+        g = greedy_optimize(prog, params)
+        e = exhaustive_optimize(prog, params)
+        rows.append((label, g, e))
+    return rows
+
+
+def test_optimizer_strategies(benchmark):
+    rows = benchmark(run_both)
+    lines = [f"pipeline: {build_composed_pipeline().pretty()}", ""]
+    for label, g, e in rows:
+        lines.append(
+            f"{label:<12} greedy {g.cost_before:>10.0f} -> {g.cost_after:>10.0f} "
+            f"({len(g.derivation.steps)} steps, {g.programs_explored} progs)   "
+            f"exhaustive -> {e.cost_after:>10.0f} "
+            f"({len(e.derivation.steps)} steps, {e.programs_explored} progs)"
+        )
+        assert e.cost_after <= g.cost_after + 1e-9
+        assert e.cost_after <= e.cost_before
+    emit("ablation_optimizer", lines)
+
+
+def test_ss2_crossover_sweep(benchmark):
+    """§4.2 end-to-end: the optimizer starts applying SS2-Scan exactly
+    when ts exceeds 2m."""
+
+    def sweep():
+        prog = Program([ScanStage(MUL), ScanStage(ADD)])
+        m = 512
+        decisions = []
+        for ts in [64, 256, 512, 1000, 1024, 1048, 2048, 8192]:
+            params = MachineParams(p=16, ts=float(ts), tw=1.0, m=m)
+            res = exhaustive_optimize(prog, params)
+            applied = "SS2-Scan" in res.derivation.rules_used
+            decisions.append((ts, applied))
+        return m, decisions
+
+    m, decisions = benchmark(sweep)
+    lines = [f"program: scan(mul); scan(add), m = {m}  (threshold ts > 2m = {2*m})",
+             f"{'ts':>8} {'SS2-Scan applied?':>20}"]
+    for ts, applied in decisions:
+        lines.append(f"{ts:>8} {'yes' if applied else 'no':>20}")
+        assert applied == (ts > 2 * m), f"wrong decision at ts={ts}"
+    emit("ss2_crossover", lines)

@@ -1,0 +1,62 @@
+"""Section 5 case study: PolyEval_1 → PolyEval_2 → PolyEval_3.
+
+Simulates the three derivation stages of the polynomial-evaluation
+program over a processor sweep.  Expected shape: applying BS-Comcast
+(PolyEval_2) strictly improves on the specification at every machine
+size — the rule is an "always" rule — and the locally-fused PolyEval_3
+is never slower than PolyEval_2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.apps.polyeval import (
+    build_polyeval_1,
+    build_polyeval_3,
+    derive_polyeval_2,
+    poly_eval_direct,
+    polyeval_input,
+)
+from repro.core.cost import MachineParams
+
+from repro.machine import simulate_program
+
+POINTS = [0.5, 0.9, -0.7, 0.25]  # |y| < 1: degree-64 powers stay well-conditioned
+SIZES = [2, 4, 8, 16, 32, 64]
+TS, TW = 600.0, 2.0
+
+
+def sweep():
+    rows = []
+    for p in SIZES:
+        coeffs = [((i * 3) % 5) - 2.0 for i in range(p)]
+        xs = polyeval_input(POINTS, p)
+        params = MachineParams(p=p, ts=TS, tw=TW, m=len(POINTS))
+        t1 = simulate_program(build_polyeval_1(coeffs), xs, params)
+        t2 = simulate_program(derive_polyeval_2(coeffs, p=p), xs, params)
+        t3 = simulate_program(build_polyeval_3(coeffs, p=p), xs, params)
+        oracle = poly_eval_direct(coeffs, POINTS)
+        ok = all(
+            all(abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+                for a, b in zip(sim.values[0], oracle))
+            for sim in (t1, t2, t3)
+        )
+        rows.append((p, t1.time, t2.time, t3.time, ok))
+    return rows
+
+
+def test_polyeval_derivation_speedup(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        f"m = {len(POINTS)} points, ts = {TS}, tw = {TW}",
+        f"{'procs':>6} {'PolyEval_1':>12} {'PolyEval_2':>12} {'PolyEval_3':>12} "
+        f"{'speedup 1->3':>12}",
+    ]
+    for p, t1, t2, t3, ok in rows:
+        lines.append(f"{p:>6} {t1:>12.0f} {t2:>12.0f} {t3:>12.0f} {t1 / t3:>12.2f}")
+        assert ok, f"wrong polynomial values at p={p}"
+        assert t2 < t1, f"BS-Comcast must always improve (p={p})"
+        assert t3 <= t2 + 1e-9
+    emit("polyeval_case_study", lines)

@@ -1,0 +1,59 @@
+"""Speedup landscape: the optimizer's win over the (ts, m) plane.
+
+Sweeps the Example program's optimized-vs-original simulated speedup over
+a grid of start-up times and block sizes.  Expected shape, straight from
+the cost calculus: the win grows with ``ts`` (the rules remove start-ups)
+and shrinks with ``m`` (the saved start-ups amortize over larger blocks);
+speedup is never below 1 (the optimizer refuses harmful rewrites).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.apps import build_example
+from repro.core.cost import MachineParams
+from repro.core.optimizer import optimize
+from repro.machine import simulate_program
+
+TS_VALUES = [10.0, 100.0, 1000.0, 10_000.0]
+M_VALUES = [16, 256, 4096, 65_536]
+P = 16
+
+
+def sweep():
+    prog = build_example()
+    xs = list(range(1, P + 1))
+    grid = []
+    for ts in TS_VALUES:
+        row = []
+        for m in M_VALUES:
+            params = MachineParams(p=P, ts=ts, tw=2.0, m=m)
+            res = optimize(prog, params)
+            t0 = simulate_program(prog, xs, params).time
+            t1 = simulate_program(res.program, xs, params).time
+            row.append(t0 / t1)
+        grid.append(row)
+    return grid
+
+
+def test_speedup_grid(benchmark):
+    grid = benchmark(sweep)
+    lines = [
+        f"Example program, p = {P}, tw = 2.0 — speedup optimized/original",
+        "",
+        "{:>10} ".format("ts / m") + "".join(f"{m:>10}" for m in M_VALUES),
+    ]
+    for ts, row in zip(TS_VALUES, grid):
+        lines.append(f"{ts:>10.0f} " + "".join(f"{s:>10.2f}" for s in row))
+        for s in row:
+            assert s >= 1.0 - 1e-9
+    # monotone in ts at fixed m (more start-up, more to save)
+    for col in range(len(M_VALUES)):
+        series = [grid[i][col] for i in range(len(TS_VALUES))]
+        assert series == sorted(series)
+    # anti-monotone in m at fixed ts (bigger blocks amortize the win)
+    for rowv in grid:
+        assert rowv == sorted(rowv, reverse=True)
+    emit("speedup_grid", lines)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The full loop: parse MPI-like text → optimize → emit real mpi4py code.
+
+This is the workflow the paper envisions for its rules — optimizing
+actual MPI programs.  We parse the paper's Example program, let the
+optimizer apply SR2-Reduction, emit an mpi4py script for the optimized
+version, and then *execute* the generated code on the simulated machine
+(via the fake-MPI backend) to confirm it computes the same result.
+
+Run:  python examples/generate_mpi_code.py
+"""
+
+from repro.codegen import generate_mpi4py
+from repro.codegen.simulated_backend import run_generated
+from repro.core.cost import MachineParams
+from repro.core.optimizer import optimize
+from repro.lang import parse_program
+from repro.core.operators import ADD, MUL
+
+SOURCE = """
+Program Example (x: input, v: output);
+y = f ( x );
+MPI_Scan (y, z, op1);
+MPI_Reduce (z, u, op2);
+v = g ( u );
+MPI_Bcast (v);
+"""
+
+ENV = {"f": (lambda a: 2 * a, 1), "g": (lambda a: a + 1, 1),
+       "op1": MUL, "op2": ADD}
+FUNCTIONS = {"f": lambda a: 2 * a, "g": lambda a: a + 1}
+
+
+def main() -> None:
+    program = parse_program(SOURCE).to_program(ENV)
+    params = MachineParams(p=8, ts=600.0, tw=2.0, m=256)
+    result = optimize(program, params)
+    print("optimization:", " / ".join(result.derivation.rules_used) or "(none)")
+    print()
+
+    generated = generate_mpi4py(result.program, p_hint=8)
+    print("generated mpi4py script:")
+    print("-" * 68)
+    print(generated)
+    print("-" * 68)
+
+    # execute the generated code on the simulated machine (no MPI needed)
+    xs = list(range(1, 9))
+    sim = run_generated(generated, xs, params, functions=FUNCTIONS)
+    want = program.run(xs)
+    print()
+    print(f"generated code on 8 simulated ranks -> {sim.values[0]} "
+          f"(reference: {want[0]})")
+    assert sim.values[0] == want[0]
+    print("generated code verified against the reference semantics")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Hop-limited shortest paths over the tropical semiring.
+
+Collective operations are parametric in the base operator, so the same
+``bcast; scan`` program that powers a number also powers a *matrix over
+the (min, +) semiring* — which computes shortest paths: processor ``k``
+ends up with the matrix of path lengths using at most ``k+1`` edges.
+
+The optimizer applies BS-Comcast (no commutativity needed), replacing
+the linear prefix chain by logarithmic per-processor repeated squaring.
+
+Run:  python examples/shortest_paths.py
+"""
+
+from repro.apps.shortestpath import INF, apsp_program, weight_matrix
+from repro.core.cost import MachineParams
+from repro.core.optimizer import optimize
+from repro.machine import simulate_program
+
+
+def main() -> None:
+    # a small weighted graph: ring with one chord
+    n = 6
+    edges = [(i, (i + 1) % n, 1.0) for i in range(n)] + [(0, 3, 1.5)]
+    w = weight_matrix(n, edges)
+
+    p = 8  # processors; proc k computes the (k+1)-hop matrix
+    prog = apsp_program(n)
+    params = MachineParams(p=p, ts=600.0, tw=2.0, m=1)
+    res = optimize(prog, params)
+    print("program  :", prog.pretty())
+    print("optimized:", res.program.pretty())
+    print("rules    :", ", ".join(res.derivation.rules_used))
+
+    xs = [w] + [None] * (p - 1)
+    t0 = simulate_program(prog, xs, params)
+    t1 = simulate_program(res.program, xs, params)
+    print(f"simulated: {t0.time:.0f} -> {t1.time:.0f} ({t0.time / t1.time:.2f}x)")
+    assert t0.values == t1.values
+    print()
+
+    def fmt(x):
+        return " inf" if x == INF else f"{x:4.1f}"
+
+    for hops in (1, 2, 5):
+        mat = t1.values[hops - 1]
+        print(f"shortest paths from vertex 0 using <= {hops} hop(s):",
+              "  ".join(fmt(x) for x in mat[0]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on offline machines
+without the `wheel` package (pip falls back to `setup.py develop`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — collective-operation fusion.
+
+A faithful, executable reproduction of
+
+    S. Gorlatch, C. Wedler, C. Lengauer:
+    *Optimization Rules for Programming with Collective Operations*,
+    IPPS 1999.
+
+Public API overview
+-------------------
+
+Programs and stages
+    :class:`repro.core.stages.Program` and the stage constructors
+    (``MapStage``, ``ScanStage``, ``ReduceStage``, ``BcastStage``, ...).
+
+Operators
+    :mod:`repro.core.operators` — the operator algebra with associativity,
+    commutativity and distributivity metadata.
+
+Rules
+    :data:`repro.core.rules.ALL_RULES` — the complete catalogue
+    (SR2-Reduction ... CR-Alllocal); :mod:`repro.core.rewrite` applies them.
+
+Optimizer
+    :func:`repro.core.optimizer.optimize` — cost-directed search guided by
+    the Table-1 cost calculus (:mod:`repro.core.cost`).
+
+Machine
+    :mod:`repro.machine` — a discrete-event SPMD simulator with butterfly
+    collectives, used to *measure* what the cost calculus predicts.
+
+MPI-style front end
+    :mod:`repro.mpi` — an mpi4py-flavoured ``Comm`` API over the simulator,
+    and :mod:`repro.lang` — a tiny MPI-like surface language that parses
+    into Programs.
+"""
+
+from repro.core.cost import MachineParams, program_cost, stage_cost
+from repro.core.operators import (
+    ADD,
+    BinOp,
+    CONCAT,
+    MAX,
+    MIN,
+    MUL,
+    declare_distributes,
+    distributes_over,
+)
+from repro.core.builder import ProgramBuilder, program
+from repro.core.optimizer import OptimizationResult, optimize
+from repro.core.rewrite import apply_match, find_matches, fuse_local_stages
+from repro.core.rules import ALL_RULES, EXTENSION_RULES, FULL_RULES, rule_by_name
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.semantics.evaluator import equivalent_on, run_program, run_with_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MachineParams",
+    "program_cost",
+    "stage_cost",
+    "BinOp",
+    "ADD",
+    "MUL",
+    "MAX",
+    "MIN",
+    "CONCAT",
+    "declare_distributes",
+    "distributes_over",
+    "optimize",
+    "OptimizationResult",
+    "find_matches",
+    "apply_match",
+    "ALL_RULES",
+    "EXTENSION_RULES",
+    "FULL_RULES",
+    "rule_by_name",
+    "program",
+    "ProgramBuilder",
+    "fuse_local_stages",
+    "Program",
+    "MapStage",
+    "ScanStage",
+    "ReduceStage",
+    "AllReduceStage",
+    "BcastStage",
+    "equivalent_on",
+    "run_program",
+    "run_with_trace",
+]

@@ -1,0 +1,32 @@
+"""Performance analysis: Table 1, improvement regions, reports."""
+
+from repro.analysis.regions import (
+    improving_rules,
+    m_threshold,
+    region_grid,
+    ts_threshold,
+)
+from repro.analysis.interactions import pair_matrix, render_interactions, triple_table
+from repro.analysis.report import machine_advice, rule_catalogue
+from repro.analysis.table1 import (
+    Table1Row,
+    render_table1,
+    render_table1_numeric,
+    table1_rows,
+)
+
+__all__ = [
+    "table1_rows",
+    "Table1Row",
+    "render_table1",
+    "render_table1_numeric",
+    "ts_threshold",
+    "m_threshold",
+    "improving_rules",
+    "region_grid",
+    "rule_catalogue",
+    "machine_advice",
+    "pair_matrix",
+    "triple_table",
+    "render_interactions",
+]

@@ -1,0 +1,81 @@
+"""Dependency-free ASCII line charts for the paper's figures.
+
+The original Figures 7/8 are gnuplot line charts; offline we render the
+same series as terminal plots, good enough to eyeball the orderings and
+crossovers the paper's experiments demonstrate.  Used by the benchmark
+harness and the ``repro`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "*o+x#@%"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over a shared x-axis as ASCII art.
+
+    Each series gets a marker character; points are mapped onto a
+    ``width`` x ``height`` grid with linear axes.  Returns the chart as a
+    single string (legend included).
+    """
+    if not x:
+        raise ValueError("empty x axis")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(x), max(x)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / x_span * (width - 1))
+            row = height - 1 - round((yv - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:.3g}"
+        elif r == height - 1:
+            label = f"{y_min:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    x_axis = f"{x_min:.3g}"
+    x_axis += " " * max(1, width - len(x_axis) - len(f"{x_max:.3g}")) + f"{x_max:.3g}"
+    lines.append(f"{'':>{label_w}}  {x_axis}")
+    if x_label:
+        lines.append(f"{'':>{label_w}}  {x_label:^{width}}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    if y_label:
+        lines.insert(1 if title else 0, f"[y: {y_label}]")
+    return "\n".join(lines)

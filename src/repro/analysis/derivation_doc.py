@@ -1,0 +1,87 @@
+"""Markdown report generation for optimization derivations.
+
+Renders an :class:`repro.core.optimizer.OptimizationResult` as a
+self-contained markdown document: machine parameters, the step-by-step
+derivation (like the paper's §5.1 PolyEval chain), per-step cost deltas,
+the final program in MPI-like notation, and an optional per-stage timing
+breakdown from the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.cost import MachineParams, program_cost
+from repro.core.optimizer import OptimizationResult
+from repro.core.stages import Program
+from repro.lang import to_mpi_text
+
+__all__ = ["derivation_markdown"]
+
+
+def _step_programs(result: OptimizationResult) -> list[Program]:
+    """Reconstruct the program after each derivation step."""
+    programs = [result.derivation.initial]
+    current = result.derivation.initial
+    for step in result.derivation.steps:
+        current = current.replaced(step.start, len(step.removed), step.inserted)
+        programs.append(current)
+    return programs
+
+
+def derivation_markdown(
+    result: OptimizationResult,
+    inputs: Sequence[Any] | None = None,
+) -> str:
+    """Render the optimization run as markdown.
+
+    If ``inputs`` is given, the final program is simulated and a
+    per-stage timing table is appended.
+    """
+    params = result.params
+    lines = [
+        f"# Optimization report: {result.derivation.initial.name}",
+        "",
+        f"*Machine:* `p={params.p}`, `ts={params.ts}`, `tw={params.tw}`, "
+        f"`m={params.m}`",
+        "",
+        "## Derivation",
+        "",
+        f"- initial ({result.cost_before:.1f} units): "
+        f"`{result.derivation.initial.pretty()}`",
+    ]
+    programs = _step_programs(result)
+    for step, prog in zip(result.derivation.steps, programs[1:]):
+        cost = program_cost(prog, params)
+        lines.append(
+            f"- **{step.rule.name}** at stage {step.start} "
+            f"({cost:.1f} units): `{prog.pretty()}`"
+        )
+    lines += [
+        "",
+        f"**Model cost:** {result.cost_before:.1f} → {result.cost_after:.1f} "
+        f"(speedup {result.speedup:.2f}×, "
+        f"{result.programs_explored} programs explored)",
+        "",
+        "## Optimized program (MPI-like notation)",
+        "",
+        "```",
+        to_mpi_text(result.program),
+        "```",
+    ]
+    if inputs is not None:
+        from repro.machine.run import stage_breakdown
+
+        _, timings = stage_breakdown(result.program, list(inputs), params)
+        lines += [
+            "",
+            "## Simulated per-stage timing",
+            "",
+            "| # | stage | duration | cumulative |",
+            "|---|-------|---------:|-----------:|",
+        ]
+        for t in timings:
+            lines.append(
+                f"| {t.index} | `{t.pretty}` | {t.duration:.1f} | {t.end:.1f} |"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""ASCII communication timeline (Gantt-style) for simulated runs.
+
+Renders the per-message events a simulation records into a rank-by-time
+chart: each row is a processor, each column a time bucket; ``#`` marks
+buckets in which the rank completed at least one message, ``.`` idle
+simulated time.  Makes phase structure (butterfly rounds, pipelines,
+NIC serialization) visible at a glance in the terminal.
+"""
+
+from __future__ import annotations
+
+from repro.machine.engine import SimResult
+
+__all__ = ["comm_gantt"]
+
+
+def comm_gantt(result: SimResult, width: int = 72) -> str:
+    """Render the run's communication events as an ASCII timeline."""
+    if width < 10:
+        raise ValueError("chart too narrow")
+    events = result.stats.events
+    p = len(result.values)
+    span = result.time or 1.0
+    rows = [["."] * width for _ in range(p)]
+    for src, dst, end, _words in events:
+        col = min(width - 1, int(end / span * width))
+        rows[src][col] = "#"
+        rows[dst][col] = "#"
+    label_w = len(str(p - 1)) + 5
+    lines = []
+    for r in range(p):
+        lines.append(f"rank {r:<{label_w - 5}} |{''.join(rows[r])}|")
+    lines.append(f"{'':<{label_w}} 0{'time':^{width - 8}}{span:>7.0f}")
+    return "\n".join(lines)

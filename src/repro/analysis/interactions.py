@@ -1,0 +1,96 @@
+"""Rule-interaction explorer: which collective combinations fuse?
+
+The paper's conclusions classify collectives by their input/output
+behaviour (broadcast one-to-all, reduction all-to-one, scan all-to-all)
+and note that "some combinations can be dismissed as not useful".  This
+module *computes* that discussion: it enumerates every pair and triple of
+collectives over a representative operator setting and reports which
+rules fire — regenerating the paper's informal completeness argument as
+a table, and showing at a glance where the extension rules fill gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.operators import ADD, MUL
+from repro.core.rewrite import find_matches
+from repro.core.rules import ALL_RULES, FULL_RULES, Rule
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = ["COLLECTIVE_KINDS", "pair_matrix", "triple_table", "render_interactions"]
+
+#: alphabet of collectives: label → stage factory.  Two scan flavours
+#: cover the same-operator and distributive-pair cases separately.
+COLLECTIVE_KINDS: dict[str, callable] = {
+    "bcast": lambda: BcastStage(),
+    "scan+": lambda: ScanStage(ADD),
+    "scan*": lambda: ScanStage(MUL),
+    "reduce+": lambda: ReduceStage(ADD),
+    "allreduce+": lambda: AllReduceStage(ADD),
+}
+
+
+def _rules_for(stages: list[Stage], rules: Iterable[Rule]) -> list[str]:
+    prog = Program(stages)
+    full_window = [
+        m.rule.name
+        for m in find_matches(prog, rules, p=8)
+        if m.start == 0 and m.rule.window == len(stages)
+    ]
+    return sorted(set(full_window))
+
+
+def pair_matrix(extensions: bool = False) -> dict[tuple[str, str], list[str]]:
+    """Rules matching each ordered pair ``first ; second`` (whole window)."""
+    rules = FULL_RULES if extensions else ALL_RULES
+    out: dict[tuple[str, str], list[str]] = {}
+    for a, fa in COLLECTIVE_KINDS.items():
+        for b, fb in COLLECTIVE_KINDS.items():
+            out[(a, b)] = _rules_for([fa(), fb()], rules)
+    return out
+
+
+def triple_table(extensions: bool = False) -> dict[tuple[str, str, str], list[str]]:
+    """Rules matching each ordered triple (whole window only)."""
+    rules = FULL_RULES if extensions else ALL_RULES
+    out: dict[tuple[str, str, str], list[str]] = {}
+    for a, fa in COLLECTIVE_KINDS.items():
+        for b, fb in COLLECTIVE_KINDS.items():
+            for c, fc in COLLECTIVE_KINDS.items():
+                names = _rules_for([fa(), fb(), fc()], rules)
+                if names:
+                    out[(a, b, c)] = names
+    return out
+
+
+def render_interactions(extensions: bool = True) -> str:
+    """The combination analysis as a text report (paper §6, computed)."""
+    kinds = list(COLLECTIVE_KINDS)
+    matrix = pair_matrix(extensions)
+    width = max(len(k) for k in kinds) + 2
+    cell = 16
+    lines = ["Pairs (row ; column) -> fusing rule:", ""]
+    header = " " * width + "".join(f"{k:<{cell}}" for k in kinds)
+    lines.append(header)
+    for a in kinds:
+        row = f"{a:<{width}}"
+        for b in kinds:
+            names = matrix[(a, b)]
+            label = names[0] if names else "-"
+            if len(names) > 1:
+                label += "+"
+            row += f"{label:<{cell}}"
+        lines.append(row)
+    lines.append("")
+    lines.append("Triples with a dedicated fusion:")
+    for (a, b, c), names in sorted(triple_table(extensions).items()):
+        lines.append(f"  {a} ; {b} ; {c}  ->  {', '.join(names)}")
+    return "\n".join(lines)

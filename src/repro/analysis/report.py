@@ -1,0 +1,93 @@
+"""Human-readable reports: rule catalogue and optimization advice.
+
+* :func:`rule_catalogue` — every rule with its LHS → RHS schema, side
+  condition and Table-1 economics (the paper's Section 3 in one page);
+* :func:`machine_advice` — for a machine, which rules to enable and the
+  thresholds at which the conditional ones start paying off (the
+  performance-directed design process of Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.regions import improving_rules, ts_threshold
+from repro.core.cost import MachineParams
+from repro.core.rules import ALL_RULES, Rule
+
+__all__ = ["rule_catalogue", "machine_advice"]
+
+#: LHS → RHS schemata, verbatim from the paper's rule boxes.
+_SCHEMATA = {
+    "SR2-Reduction": ("scan (⊗) ; [all]reduce (⊕)",
+                      "map pair ; [all]reduce (op_sr2) ; map π1"),
+    "SR-Reduction": ("scan (⊕) ; [all]reduce (⊕)",
+                     "map pair ; [all]reduce_balanced (op_sr) ; map π1"),
+    "SS2-Scan": ("scan (⊗) ; scan (⊕)",
+                 "map pair ; scan (op_sr2) ; map π1"),
+    "SS-Scan": ("scan (⊕) ; scan (⊕)",
+                "map quadruple ; scan_balanced (op_ss) ; map π1"),
+    "BS-Comcast": ("bcast ; scan (⊕)", "bcast ; map# op_comp"),
+    "BSS2-Comcast": ("bcast ; scan (⊗) ; scan (⊕)", "bcast ; map# op_comp"),
+    "BSS-Comcast": ("bcast ; scan (⊕) ; scan (⊕)", "bcast ; map# op_comp"),
+    "BR-Local": ("bcast ; reduce (⊕)", "iter (op_br)"),
+    "BSR2-Local": ("bcast ; scan (⊗) ; reduce (⊕)",
+                   "map pair ; iter (op_bsr2) ; map π1"),
+    "BSR-Local": ("bcast ; scan (⊕) ; reduce (⊕)",
+                  "map pair ; iter (op_bsr) ; map π1"),
+    "CR-Alllocal": ("bcast ; allreduce (⊕)", "iter (op_br) ; bcast"),
+    # extension rules (beyond the paper)
+    "RB-Allreduce": ("reduce (⊕) ; bcast", "allreduce (⊕)"),
+    "AB-Allreduce": ("allreduce (⊕) ; bcast", "allreduce (⊕)"),
+    "SB-Bcast": ("scan (⊕) ; bcast", "bcast"),
+    "BB-Bcast": ("bcast ; bcast", "bcast"),
+}
+
+
+def rule_catalogue(include_extensions: bool = True) -> str:
+    """All rules: schema, condition, and Table-1 economics."""
+    from repro.core.rules import FULL_RULES
+
+    rules = FULL_RULES if include_extensions else ALL_RULES
+    blocks = []
+    if include_extensions:
+        blocks.append("== The paper's catalogue, then extensions ==")
+    for rule in rules:
+        lhs, rhs = _SCHEMATA[rule.name]
+        blocks.append(
+            "\n".join(
+                [
+                    rule.name,
+                    f"    {lhs}",
+                    f"      --{{ {rule.condition_text} }}-->",
+                    f"    {rhs}",
+                    f"    cost: {rule.before_formula().pretty()}  ->  "
+                    f"{rule.after_formula().pretty()}   (x log p)",
+                    f"    improves: {rule.improvement_text}"
+                    + ("   [destroys non-root blocks]" if rule.lossy_nonroot else "")
+                    + ("   [p must be a power of two; general-p extension available]"
+                       if rule.requires_power_of_two else ""),
+                ]
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def machine_advice(params: MachineParams) -> str:
+    """Which rules to enable on this machine, with thresholds."""
+    lines = [
+        f"machine: p={params.p}, ts={params.ts}, tw={params.tw}, m={params.m}",
+        "",
+    ]
+    winners = {r.name for r in improving_rules(params)}
+    for rule in ALL_RULES:
+        thr = ts_threshold(rule, params.tw, params.m)
+        status = "APPLY " if rule.name in winners else "skip  "
+        if thr == 0.0:
+            note = "improves always"
+        elif math.isinf(thr):
+            note = "never improves at this tw/m"
+        else:
+            note = f"improves for ts > {thr:.1f} (machine ts = {params.ts})"
+        lines.append(f"  {status} {rule.name:<15} {note}")
+    return "\n".join(lines)

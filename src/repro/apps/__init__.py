@@ -1,0 +1,48 @@
+"""Application programs: the paper's running example and the case study."""
+
+from repro.apps.example_program import (
+    build_composed_pipeline,
+    build_example,
+    build_next_example,
+)
+from repro.apps.recurrences import (
+    AFFINE,
+    affine_recurrence_program,
+    fibonacci_direct,
+    fibonacci_program,
+    solve_affine_recurrence,
+)
+from repro.apps.samplesort import sample_sort, sample_sort_rank
+from repro.apps.shortestpath import apsp_program, hop_limited_paths, weight_matrix
+from repro.apps.polyeval import (
+    VADD,
+    VMUL,
+    build_polyeval_1,
+    build_polyeval_3,
+    derive_polyeval_2,
+    poly_eval_direct,
+    polyeval_input,
+)
+
+__all__ = [
+    "build_example",
+    "build_next_example",
+    "build_composed_pipeline",
+    "VMUL",
+    "VADD",
+    "poly_eval_direct",
+    "build_polyeval_1",
+    "derive_polyeval_2",
+    "build_polyeval_3",
+    "polyeval_input",
+    "AFFINE",
+    "affine_recurrence_program",
+    "solve_affine_recurrence",
+    "fibonacci_program",
+    "fibonacci_direct",
+    "sample_sort",
+    "sample_sort_rank",
+    "apsp_program",
+    "hop_limited_paths",
+    "weight_matrix",
+]

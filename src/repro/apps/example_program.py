@@ -1,0 +1,76 @@
+"""The paper's running example programs (Section 2.1).
+
+``Example``::
+
+    Program Example (x: input, v: output);
+    y = f ( x );
+    MPI_Scan (y, z, count1, type, op1, comm);
+    MPI_Reduce (z, u, count2, type, op2, root, comm);
+    v = g ( u );
+    MPI_Bcast (v, count3, type, root, comm);
+
+and ``Next_Example``, a follow-up program starting with ``MPI_Scan``.
+Their sequential composition exposes the cross-program fusion point
+``bcast ; scan`` that the paper's Figure 1 highlights: optimization
+opportunities arise both *within* a program (scan;reduce in Example) and
+*between* composed programs (Example's trailing bcast against
+Next_Example's leading scan).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.operators import ADD, BinOp, MUL
+from repro.core.stages import (
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+__all__ = ["build_example", "build_next_example", "build_composed_pipeline"]
+
+
+def build_example(
+    f: Callable = lambda x: 2 * x,
+    g: Callable = lambda u: u + 1,
+    op1: BinOp = MUL,
+    op2: BinOp = ADD,
+) -> Program:
+    """The paper's ``Example`` program with pluggable local stages/operators.
+
+    With the defaults, op1 = × distributes over op2 = +, so SR2-Reduction
+    applies to the scan;reduce composition (the paper's Figure 3).
+    """
+    return Program(
+        [
+            MapStage(f, label="f", ops_per_element=1),
+            ScanStage(op1),
+            ReduceStage(op2),
+            MapStage(g, label="g", ops_per_element=1),
+            BcastStage(),
+        ],
+        name="Example",
+    )
+
+
+def build_next_example(op: BinOp = ADD, h: Callable = lambda x: x) -> Program:
+    """A follow-up program that begins with a scan (paper Figure 1)."""
+    return Program(
+        [
+            ScanStage(op),
+            MapStage(h, label="h", ops_per_element=1),
+        ],
+        name="Next_Example",
+    )
+
+
+def build_composed_pipeline(**kwargs) -> Program:
+    """``Example ; Next_Example`` — the cross-program composition.
+
+    The seam ``... ; bcast ; scan (...) ; ...`` is a BS-Comcast site that
+    exists in neither program alone.
+    """
+    return build_example(**kwargs).then(build_next_example())

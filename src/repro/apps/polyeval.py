@@ -1,0 +1,145 @@
+"""Case study: polynomial evaluation (paper Section 5).
+
+Evaluate ``a1*y + a2*y^2 + ... + an*y^n`` on ``m`` points ``y1..ym``,
+with coefficient ``a_i`` stored on processor ``i`` and the point list
+``ys`` on the first processor.  Blocks are length-``m`` vectors; the base
+operators are elementwise:
+
+* ``VMUL`` — elementwise product (the scan builds ``y^i`` per processor),
+* ``VADD`` — elementwise sum (the reduction accumulates the polynomial),
+
+and VMUL distributes over VADD, though the derivation only needs
+BS-Comcast, which has no side condition.
+
+The three program versions of §5.1:
+
+* ``PolyEval_1 = bcast ; scan (VMUL) ; map2 (×) as ; reduce (VADD)``
+  — the obvious specification (eq. 18);
+* ``PolyEval_2`` — after rule BS-Comcast (eq. 19): the broadcast+scan
+  collapses into a comcast;
+* ``PolyEval_3`` — after fusing the two local stages into
+  ``map2# (op_new as)`` (eq. 20).
+
+All three agree with :func:`poly_eval_direct` (Horner) and with each
+other; the benchmark ``benchmarks/test_bench_polyeval.py`` reproduces the
+speed ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.derived_ops import bs_comcast_op
+from repro.core.operators import BinOp, declare_distributes
+from repro.core.rewrite import apply_match, find_matches, fuse_local_stages
+from repro.core.stages import (
+    BcastStage,
+    Map2Stage,
+    MapIndexedStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+__all__ = [
+    "VMUL",
+    "VADD",
+    "poly_eval_direct",
+    "build_polyeval_1",
+    "derive_polyeval_2",
+    "build_polyeval_3",
+    "polyeval_input",
+]
+
+
+def _vmul(a: tuple, b: tuple) -> tuple:
+    return tuple(x * y for x, y in zip(a, b))
+
+
+def _vadd(a: tuple, b: tuple) -> tuple:
+    return tuple(x + y for x, y in zip(a, b))
+
+
+#: Elementwise product over length-m blocks (one multiply per element).
+VMUL = BinOp("vmul", _vmul, commutative=True)
+#: Elementwise sum over length-m blocks (one add per element).
+VADD = BinOp("vadd", _vadd, commutative=True)
+declare_distributes(VMUL, VADD)
+
+
+def _scale(vec: tuple, a) -> tuple:
+    """``map2 (×) as`` body: multiply the block elementwise by ``a_i``."""
+    return tuple(a * x for x in vec)
+
+
+def poly_eval_direct(coeffs: Sequence[float], ys: Sequence[float]) -> tuple:
+    """Horner-scheme oracle: ``(sum_i a_i * y_j^i)`` for every point j.
+
+    ``coeffs[k]`` is ``a_{k+1}`` (the polynomial has no constant term,
+    exactly as in the paper).
+    """
+    out = []
+    for y in ys:
+        acc = 0.0 if isinstance(y, float) else 0
+        for a in reversed(coeffs):
+            acc = (acc + a) * y
+        out.append(acc)
+    return tuple(out)
+
+
+def polyeval_input(ys: Sequence[float], p: int) -> list:
+    """The distributed input: points on processor 0, junk elsewhere."""
+    filler = tuple(0 for _ in ys)
+    return [tuple(ys)] + [filler] * (p - 1)
+
+
+def build_polyeval_1(coeffs: Sequence[float]) -> Program:
+    """PolyEval_1 (paper eq. 18): the specification program."""
+    return Program(
+        [
+            BcastStage(),
+            ScanStage(VMUL),
+            Map2Stage(_scale, other=tuple(coeffs), label="(*) as",
+                      ops_per_element=1),
+            ReduceStage(VADD),
+        ],
+        name="PolyEval_1",
+    )
+
+
+def derive_polyeval_2(coeffs: Sequence[float], p: int | None = None) -> Program:
+    """PolyEval_2 (paper eq. 19): apply rule BS-Comcast to PolyEval_1."""
+    prog = build_polyeval_1(coeffs)
+    matches = [m for m in find_matches(prog, p=p) if m.rule.name == "BS-Comcast"]
+    if not matches:
+        raise RuntimeError("BS-Comcast unexpectedly does not match PolyEval_1")
+    rewritten, _ = apply_match(prog, matches[0], p=p)
+    return Program(rewritten.stages, name="PolyEval_2")
+
+
+def build_polyeval_3(coeffs: Sequence[float], p: int) -> Program:
+    """PolyEval_3 (paper eq. 20): comcast split + local stages fused.
+
+    The comcast is written in its split form ``bcast ; map# op_poly`` so
+    the subsequent ``map2`` can fuse with the local computation into
+    ``map2# (op_new as)``.  ``op_new k x y = (op_poly k x) × y``.
+    ``ops_per_element`` reflects the per-element work of the fused stage:
+    two VMULs per repeat digit (≤ ceil(log2 p) digits) plus the
+    coefficient multiply.
+    """
+    comcast = bs_comcast_op(VMUL)
+    digits = max(p - 1, 0).bit_length()
+
+    def op_poly(k: int, vec: tuple) -> tuple:
+        return comcast.compute(k, vec)
+
+    poly_stage = MapIndexedStage(op_poly, label="op_poly",
+                                 ops_per_element=comcast.op_count * digits)
+    scale_stage = Map2Stage(_scale, other=tuple(coeffs), label="(*) as",
+                            ops_per_element=1)
+    prog = Program(
+        [BcastStage(), poly_stage, scale_stage, ReduceStage(VADD)],
+        name="PolyEval_3",
+    )
+    fused = fuse_local_stages(prog)
+    return Program(fused.stages, name="PolyEval_3")

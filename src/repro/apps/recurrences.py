@@ -1,0 +1,120 @@
+"""Linear recurrences as collective-operation programs.
+
+The paper's framework grew out of work on linear list recursions
+(Wedler/Lengauer, Acta Informatica 1998, the paper's [20]): map,
+broadcast, reduction and scan are exactly the building blocks needed to
+parallelize first-order recurrences.  This module provides two classic
+instances as Programs over the library's stage AST — realistic workloads
+for the optimizer and the machine simulator:
+
+* **affine recurrences** ``x_i = a_i * x_{i-1} + b_i``: the affine maps
+  ``f_i(x) = a_i x + b_i`` form a (non-commutative, associative) monoid
+  under composition, so all prefixes ``f_1 ∘ ... ∘ f_i`` come out of one
+  ``scan``;
+* **Fibonacci / matrix-power recurrences** via ``scan (MATMUL2)`` over
+  copies of the companion matrix ``[[1,1],[1,0]]``.  Because every block
+  is the *same* matrix, the natural program is ``bcast ; scan`` — a
+  BS-Comcast site (the rule needs no commutativity, so it applies to
+  matrix products too), turning the linear-depth prefix into the
+  logarithmic ``repeat`` digit computation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.operators import BinOp, MATMUL2
+from repro.core.stages import BcastStage, MapStage, Program, ScanStage
+
+__all__ = [
+    "AFFINE",
+    "compose_affine",
+    "solve_affine_recurrence",
+    "affine_recurrence_program",
+    "FIB_MATRIX",
+    "fibonacci_program",
+    "fibonacci_direct",
+]
+
+
+def compose_affine(f: tuple, g: tuple) -> tuple:
+    """``g ∘ f`` for affine maps as ``(slope, offset)`` pairs.
+
+    The pair ``(a, b)`` denotes ``x ↦ a*x + b``; the composition order
+    matches scan's left-to-right accumulation: the left operand is
+    applied first.
+    """
+    a1, b1 = f
+    a2, b2 = g
+    return (a2 * a1, a2 * b1 + b2)
+
+
+#: Affine-map composition: associative, NOT commutative; 2 words wide,
+#: 3 base operations per application (two multiplies, one add).
+AFFINE = BinOp("affine", compose_affine, commutative=False,
+               identity=(1, 0), has_identity=True, op_count=3, width=2)
+
+
+def solve_affine_recurrence(
+    a: Sequence[float], b: Sequence[float], x0: float
+) -> list[float]:
+    """Sequential oracle: ``x_i = a_i * x_{i-1} + b_i`` for i = 1..n."""
+    if len(a) != len(b):
+        raise ValueError("coefficient lists must have equal length")
+    out = []
+    x = x0
+    for ai, bi in zip(a, b):
+        x = ai * x + bi
+        out.append(x)
+    return out
+
+
+def affine_recurrence_program(x0: float) -> Program:
+    """Program: processor i holds ``(a_i, b_i)``; outputs ``x_i`` everywhere.
+
+    ``scan (AFFINE)`` builds the prefix compositions; the trailing local
+    stage applies each prefix to the initial value ``x0``.
+    """
+    return Program(
+        [
+            ScanStage(AFFINE),
+            MapStage(lambda f: f[0] * x0 + f[1], label="apply_x0",
+                     ops_per_element=2),
+        ],
+        name="AffineRecurrence",
+    )
+
+
+#: Fibonacci companion matrix: ``M^n = [[F(n+1), F(n)], [F(n), F(n-1)]]``.
+FIB_MATRIX = ((1, 1), (1, 0))
+
+
+def fibonacci_program() -> Program:
+    """``bcast ; scan (MATMUL2) ; map pick`` — F(i+1) on processor i.
+
+    The root holds the companion matrix; after the broadcast every
+    processor holds it, the scan computes ``M^(i+1)`` on processor ``i``,
+    and the local stage extracts ``F(i+1)`` (the top-right entry).
+
+    The leading ``bcast ; scan`` pair is a BS-Comcast site: the optimizer
+    fuses it into a comcast whose ``repeat`` computes ``M^(i+1)`` with
+    O(log i) matrix products per processor.
+    """
+    return Program(
+        [
+            BcastStage(),
+            ScanStage(MATMUL2),
+            MapStage(lambda mat: mat[0][1], label="pick_F", ops_per_element=0),
+        ],
+        name="Fibonacci",
+    )
+
+
+def fibonacci_direct(n: int) -> int:
+    """Oracle: the n-th Fibonacci number (F(1) = F(2) = 1)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a

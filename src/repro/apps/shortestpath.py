@@ -1,0 +1,77 @@
+"""Hop-limited all-pairs shortest paths with collective operations.
+
+A third domain application (after polynomial evaluation and linear
+recurrences): over the tropical (min, +) semiring, the k-th "power" of a
+graph's weight matrix gives the shortest path lengths using at most k
+edges.  With the weight matrix on processor 0,
+
+    ``bcast ; scan (min-plus matrix product)``
+
+leaves ``W^(k+1)`` on processor k — a BS-Comcast site on a heavyweight
+non-commutative operator, so the optimizer turns the linear prefix chain
+into the logarithmic ``repeat`` digit computation per processor.
+
+The tests verify against NetworkX's shortest-path lengths (paths in a
+graph on ``n`` vertices need at most ``n - 1`` edges, so processor
+``n - 2`` holds the true APSP matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.semirings import INF, TROPICAL_MIN_PLUS, matrix_semiring
+from repro.core.stages import BcastStage, Program, ScanStage
+
+__all__ = [
+    "INF",
+    "weight_matrix",
+    "apsp_program",
+    "hop_limited_paths",
+    "min_plus_power_direct",
+]
+
+
+def weight_matrix(n: int, edges: Sequence[tuple[int, int, float]],
+                  directed: bool = False) -> tuple:
+    """Build the (min, +) weight matrix of a graph.
+
+    ``edges`` are ``(u, v, weight)``; the diagonal is 0 (one of the
+    semiring), absent edges are +inf (zero of the semiring).
+    """
+    w = [[INF] * n for _ in range(n)]
+    for i in range(n):
+        w[i][i] = 0.0
+    for u, v, weight in edges:
+        w[u][v] = min(w[u][v], float(weight))
+        if not directed:
+            w[v][u] = min(w[v][u], float(weight))
+    return tuple(tuple(row) for row in w)
+
+
+def apsp_program(n: int) -> Program:
+    """``bcast ; scan (⊗_minplus)``: processor k gets the (k+1)-hop matrix."""
+    ring = matrix_semiring(TROPICAL_MIN_PLUS, n)
+    return Program([BcastStage(), ScanStage(ring.times)], name="APSP")
+
+
+def min_plus_power_direct(w: tuple, k: int) -> tuple:
+    """Oracle: k-th min-plus power by naive repeated multiplication."""
+    n = len(w)
+    ring = matrix_semiring(TROPICAL_MIN_PLUS, n)
+    acc = w
+    for _ in range(k - 1):
+        acc = ring.times(acc, w)
+    return acc
+
+
+def hop_limited_paths(w: tuple, p: int) -> list[tuple]:
+    """Run the APSP program: the distributed list of hop-limited matrices.
+
+    Element k of the result is ``W^(k+1)``: shortest path lengths using
+    at most ``k + 1`` edges.
+    """
+    n = len(w)
+    prog = apsp_program(n)
+    xs = [w] + [None] * (p - 1)
+    return prog.run(xs)

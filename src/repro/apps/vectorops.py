@@ -1,0 +1,71 @@
+"""NumPy-backed block operators: realistic m-element blocks.
+
+The paper's cost model treats each processor's block as ``m`` elements
+combined elementwise.  For semantic testing, scalar blocks suffice; for
+*wall-clock* benchmarking of this library itself, blocks should be real
+arrays combined with vectorized NumPy operations (see the HPC guidance:
+vectorize the inner loop, never per-element Python).
+
+These operators let every collective — reference semantics, simulator,
+both MPI front ends — carry genuine ``numpy.ndarray`` blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operators import BinOp, declare_distributes
+
+__all__ = ["NP_ADD", "NP_MUL", "NP_MAX", "NP_MIN", "np_affine", "blocks_allclose"]
+
+
+def _add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a + b
+
+
+def _mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+#: Elementwise vector sum; one machine op per element (the block length
+#: is the cost model's ``m``, so width/op_count stay 1 per element).
+NP_ADD = BinOp("np_add", _add, commutative=True)
+#: Elementwise vector product.
+NP_MUL = BinOp("np_mul", _mul, commutative=True)
+#: Elementwise maximum / minimum.
+NP_MAX = BinOp("np_max", np.maximum, commutative=True)
+NP_MIN = BinOp("np_min", np.minimum, commutative=True)
+
+declare_distributes(NP_MUL, NP_ADD)
+declare_distributes(NP_ADD, NP_MAX)
+declare_distributes(NP_ADD, NP_MIN)
+
+
+def np_affine() -> BinOp:
+    """Composition of elementwise affine maps ``(slope, offset)`` arrays.
+
+    The vectorized analogue of :data:`repro.apps.recurrences.AFFINE`:
+    each block holds ``m`` independent affine recurrences advanced in
+    lockstep.  3 machine ops per element.
+    """
+
+    def compose(f: tuple[np.ndarray, np.ndarray], g: tuple[np.ndarray, np.ndarray]):
+        a1, b1 = f
+        a2, b2 = g
+        return (a2 * a1, a2 * b1 + b2)
+
+    return BinOp("np_affine", compose, commutative=False, op_count=3, width=2)
+
+
+def blocks_allclose(xs, ys, rtol: float = 1e-9) -> bool:
+    """Positional comparison of ndarray block lists (UNDEF matches all)."""
+    from repro.semantics.functional import UNDEF
+
+    if len(xs) != len(ys):
+        return False
+    for a, b in zip(xs, ys):
+        if a is UNDEF or b is UNDEF:
+            continue
+        if not np.allclose(a, b, rtol=rtol):
+            return False
+    return True

@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+
+``optimize FILE``
+    Parse an MPI-like program (repro.lang syntax), optimize it for the
+    given machine parameters, print the derivation and the optimized
+    program in MPI-like notation.
+``table1``
+    Regenerate the paper's Table 1 (symbolic, or numeric with machine
+    parameters).
+``advice``
+    Per-machine rule recommendations with thresholds.
+``catalogue``
+    Print the full rule catalogue (schemata, conditions, costs).
+``figures``
+    Re-run the Figure 7/8 sweeps on the simulator and render ASCII
+    charts.
+``breakdown FILE``
+    Simulate a program and print the per-stage timing breakdown.
+``report FILE``
+    Optimize a program and write a markdown derivation report.
+``codegen FILE``
+    Optimize a program and emit a runnable mpi4py script.
+
+Machine parameters are given as ``--p/--ts/--tw/--m``; operator names in
+program files resolve against a built-in environment (``add mul max min
+concat`` plus ``f/g/h`` demo local functions, extendable with
+``--modulus N`` for ``modadd``/``modmul``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.analysis import machine_advice, render_table1, render_table1_numeric, rule_catalogue
+from repro.analysis.asciiplot import line_chart
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, MAX, MIN, MUL, mod_add, mod_mul
+from repro.core.optimizer import optimize
+from repro.core.rules import ALL_RULES, FULL_RULES
+from repro.lang import ParseError, parse_program, to_mpi_text
+
+__all__ = ["main", "build_parser", "default_env"]
+
+
+def default_env(modulus: int | None = None) -> dict[str, Any]:
+    """Name environment for CLI-parsed programs."""
+    env: dict[str, Any] = {
+        "add": ADD, "mul": MUL, "max": MAX, "min": MIN, "concat": CONCAT,
+        # the paper's op1/op2 convention
+        "op1": MUL, "op2": ADD,
+        # demo local functions
+        "f": (lambda x: 2 * x, 1),
+        "g": (lambda x: x + 1, 1),
+        "h": (lambda x: x - 1, 1),
+        "id": (lambda x: x, 0),
+    }
+    if modulus:
+        env["modadd"] = mod_add(modulus)
+        env["modmul"] = mod_mul(modulus)
+    return env
+
+
+def _machine(args: argparse.Namespace) -> MachineParams:
+    return MachineParams(p=args.p, ts=args.ts, tw=args.tw, m=args.m)
+
+
+def _add_machine_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--p", type=int, default=64, help="processors (default 64)")
+    sub.add_argument("--ts", type=float, default=600.0,
+                     help="message start-up time (default 600)")
+    sub.add_argument("--tw", type=float, default=2.0,
+                     help="per-word transfer time (default 2)")
+    sub.add_argument("--m", type=int, default=1024,
+                     help="block size in elements (default 1024)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Collective-operation fusion (Gorlatch/Wedler/Lengauer, IPPS'99)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = subs.add_parser("optimize", help="optimize an MPI-like program file")
+    p_opt.add_argument("file", help="program file (repro.lang syntax), or - for stdin")
+    _add_machine_args(p_opt)
+    p_opt.add_argument("--strategy", choices=("exhaustive", "greedy"),
+                       default="exhaustive")
+    p_opt.add_argument("--extensions", action="store_true",
+                       help="enable the extension rules (RB-Allreduce, ...)")
+    p_opt.add_argument("--allow-lossy", action="store_true",
+                       help="allow Local rules mid-program")
+    p_opt.add_argument("--modulus", type=int, default=None,
+                       help="enable modadd/modmul operators mod N")
+
+    p_t1 = subs.add_parser("table1", help="regenerate the paper's Table 1")
+    p_t1.add_argument("--numeric", action="store_true",
+                      help="evaluate at machine parameters instead of symbolic")
+    p_t1.add_argument("--extensions", action="store_true")
+    _add_machine_args(p_t1)
+
+    p_adv = subs.add_parser("advice", help="which rules pay off on this machine")
+    _add_machine_args(p_adv)
+
+    subs.add_parser("catalogue", help="print the rule catalogue")
+
+    p_int = subs.add_parser("interactions",
+                            help="which collective combinations fuse")
+    p_int.add_argument("--no-extensions", action="store_true")
+
+    p_fig = subs.add_parser("figures", help="re-run Figure 7/8 sweeps (ASCII)")
+    _add_machine_args(p_fig)
+
+    p_bd = subs.add_parser("breakdown", help="per-stage simulated timing")
+    p_bd.add_argument("file", help="program file, or - for stdin")
+    _add_machine_args(p_bd)
+    p_bd.add_argument("--modulus", type=int, default=None)
+    p_bd.add_argument("--gantt", action="store_true",
+                      help="also draw the communication timeline")
+
+    p_rep = subs.add_parser("report", help="markdown derivation report")
+    p_rep.add_argument("file", help="program file, or - for stdin")
+    p_rep.add_argument("--output", "-o", default="-",
+                       help="output file (default stdout)")
+    _add_machine_args(p_rep)
+    p_rep.add_argument("--extensions", action="store_true")
+    p_rep.add_argument("--modulus", type=int, default=None)
+
+    p_cg = subs.add_parser("codegen", help="emit a runnable mpi4py script")
+    p_cg.add_argument("file", help="program file, or - for stdin")
+    p_cg.add_argument("--output", "-o", default="-",
+                      help="output file (default stdout)")
+    _add_machine_args(p_cg)
+    p_cg.add_argument("--no-optimize", action="store_true",
+                      help="emit the program as written")
+    p_cg.add_argument("--modulus", type=int, default=None)
+
+    return parser
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    try:
+        source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+        decl = parse_program(source)
+        program = decl.to_program(default_env(args.modulus))
+    except (ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    params = _machine(args)
+    rules = FULL_RULES if args.extensions else ALL_RULES
+    result = optimize(program, params, rules=rules, strategy=args.strategy,
+                      allow_lossy=args.allow_lossy)
+    print(result.report())
+    print()
+    print("optimized program:")
+    print(to_mpi_text(result.program))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.operators import ADD as _ADD
+    from repro.core.rules.comcast import BSComcast
+    from repro.core.stages import BcastStage, Program, ScanStage
+    from repro.machine import simulate_program
+
+    lhs = Program([BcastStage(), ScanStage(_ADD)])
+    repeat = Program(BSComcast(impl="repeat").rewrite(lhs.stages))
+    doubling = Program(BSComcast(impl="doubling").rewrite(lhs.stages))
+
+    procs = [2, 4, 8, 16, 32, 64]
+    series7: dict[str, list[float]] = {"bcast;scan": [], "comcast": [],
+                                       "bcast;repeat": []}
+    for p in procs:
+        params = MachineParams(p=p, ts=args.ts, tw=args.tw, m=args.m)
+        xs = [1] * p
+        series7["bcast;scan"].append(simulate_program(lhs, xs, params).time)
+        series7["comcast"].append(simulate_program(doubling, xs, params).time)
+        series7["bcast;repeat"].append(simulate_program(repeat, xs, params).time)
+    print(line_chart(procs, series7,
+                     title=f"Figure 7: time vs processors (m={args.m})",
+                     x_label="processors", y_label="model time"))
+    print()
+
+    blocks = [1000, 5000, 10000, 15000, 20000, 25000, 30000, 35000]
+    series8: dict[str, list[float]] = {"bcast;scan": [], "comcast": [],
+                                       "bcast;repeat": []}
+    xs = [1] * args.p
+    for m in blocks:
+        params = MachineParams(p=args.p, ts=args.ts, tw=args.tw, m=m)
+        series8["bcast;scan"].append(simulate_program(lhs, xs, params).time)
+        series8["comcast"].append(simulate_program(doubling, xs, params).time)
+        series8["bcast;repeat"].append(simulate_program(repeat, xs, params).time)
+    print(line_chart(blocks, series8,
+                     title=f"Figure 8: time vs block size (p={args.p})",
+                     x_label="block size", y_label="model time"))
+    return 0
+
+
+def _load_program(args: argparse.Namespace):
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    decl = parse_program(source)
+    return decl.to_program(default_env(getattr(args, "modulus", None)))
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.machine.run import stage_breakdown
+
+    try:
+        program = _load_program(args)
+    except (ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    params = _machine(args)
+    inputs = list(range(1, params.p + 1))
+    result, timings = stage_breakdown(program, inputs, params)
+    print(f"program: {program.pretty()}")
+    print(f"{'#':>3} {'stage':<40} {'duration':>12} {'cumulative':>12}")
+    for t in timings:
+        print(f"{t.index:>3} {t.pretty:<40} {t.duration:>12.1f} {t.end:>12.1f}")
+    print(f"total simulated time: {result.time:.1f}")
+    if args.gantt:
+        from repro.analysis.gantt import comm_gantt
+
+        print()
+        print(comm_gantt(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.derivation_doc import derivation_markdown
+
+    try:
+        program = _load_program(args)
+    except (ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    params = _machine(args)
+    rules = FULL_RULES if args.extensions else ALL_RULES
+    result = optimize(program, params, rules=rules)
+    md = derivation_markdown(result, inputs=list(range(1, params.p + 1)))
+    if args.output == "-":
+        print(md)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(md + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.codegen import CodegenError, generate_mpi4py
+
+    try:
+        program = _load_program(args)
+    except (ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.no_optimize:
+        # only rules whose targets plain MPI can express
+        from repro.core.rules import BSComcast, SR2Reduction, SS2Scan
+        from repro.core.rules.extensions import EXTENSION_RULES
+
+        rules = (SR2Reduction(), SS2Scan(), BSComcast()) + EXTENSION_RULES
+        result = optimize(program, _machine(args), rules=rules)
+        program = result.program
+    try:
+        src = generate_mpi4py(program, p_hint=args.p)
+    except CodegenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output == "-":
+        print(src)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(src)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # output was piped into a consumer that closed early (e.g. head)
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "breakdown":
+        return _cmd_breakdown(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "codegen":
+        return _cmd_codegen(args)
+    if args.command == "table1":
+        if args.numeric:
+            print(render_table1_numeric(_machine(args), args.extensions))
+        else:
+            print(render_table1(args.extensions))
+        return 0
+    if args.command == "advice":
+        print(machine_advice(_machine(args)))
+        return 0
+    if args.command == "catalogue":
+        print(rule_catalogue())
+        return 0
+    if args.command == "interactions":
+        from repro.analysis.interactions import render_interactions
+
+        print(render_interactions(extensions=not args.no_extensions))
+        return 0
+    if args.command == "figures":
+        return _cmd_figures(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Code generation backends (stage Programs → real parallel code)."""
+
+from repro.codegen.mpi4py_gen import CodegenError, OpTable, generate_mpi4py
+
+__all__ = ["generate_mpi4py", "OpTable", "CodegenError"]

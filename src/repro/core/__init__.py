@@ -1,0 +1,1 @@
+"""Core: the paper's contribution — operators, stages, rules, cost, optimizer."""

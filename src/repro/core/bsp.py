@@ -1,0 +1,130 @@
+"""BSP cost model — the paper's second cited cost framework.
+
+The paper lists BSP libraries (McColl, its ref [11]) among the systems
+built on collective operations.  BSP prices a *superstep* as
+
+    T = w + h*g + l
+
+where ``w`` is the maximum local work, ``h`` the maximum words any
+processor sends or receives (an h-relation), ``g`` the gap (per-word
+cost) and ``l`` the barrier latency.  Mapping each collective stage to
+its standard BSP realization gives an alternative cost model for the
+same programs:
+
+* ``bcast``      — log p supersteps, h = m per step (binomial), or one
+  superstep with h = (p-1)*m from the root (direct); we price the
+  binomial variant, consistent with the butterfly model;
+* ``scan`` / ``[all]reduce`` — log p supersteps of h = m (+ local ops);
+* local maps — pure ``w``.
+
+The module mirrors :mod:`repro.core.cost`'s interface
+(:func:`bsp_stage_cost`, :func:`bsp_program_cost`) so the optimizer can
+run under either model; a test shows the two models agree on *which*
+rules improve (their conditions differ only in the constant in front of
+the start-up-like term, ``l`` vs ``ts``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.stages import (
+    AllGatherStage,
+    AllReduceStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = ["BSPParams", "bsp_stage_cost", "bsp_program_cost"]
+
+
+@dataclass(frozen=True)
+class BSPParams:
+    """BSP machine: ``p`` processors, gap ``g``, barrier latency ``l``.
+
+    ``m`` is the block length, as in :class:`~repro.core.cost.MachineParams`.
+    """
+
+    p: int
+    g: float
+    l: float  # noqa: E741 - standard BSP symbol
+    m: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("need at least one processor")
+        if self.g < 0 or self.l < 0 or self.m < 0:
+            raise ValueError("g, l and m cannot be negative")
+
+    @property
+    def log_p(self) -> float:
+        return math.log2(self.p) if self.p > 1 else 0.0
+
+
+def _supersteps(count: float, h_words: float, work: float, params: BSPParams) -> float:
+    """``count`` supersteps, each an h-relation of ``h_words`` plus work."""
+    return count * (work + h_words * params.g + params.l)
+
+
+def bsp_stage_cost(stage: Stage, params: BSPParams) -> float:
+    """BSP time of one stage (binomial/butterfly superstep structure)."""
+    log_p, m = params.log_p, params.m
+
+    if isinstance(stage, (MapStage, MapIndexedStage, Map2Stage)):
+        return m * stage.ops_per_element  # pure local work, no superstep
+
+    if isinstance(stage, BcastStage):
+        return _supersteps(log_p, m, 0.0, params)
+
+    if isinstance(stage, ScanStage):
+        w, c = stage.op.width, stage.op.op_count
+        return _supersteps(log_p, m * w, 2 * c * m, params)
+
+    if isinstance(stage, (ReduceStage, AllReduceStage)):
+        w, c = stage.op.width, stage.op.op_count
+        return _supersteps(log_p, m * w, c * m, params)
+
+    if isinstance(stage, BalancedReduceStage):
+        op = stage.tree_op
+        return _supersteps(log_p, m * op.comm_width, op.op_count * m, params)
+
+    if isinstance(stage, BalancedScanStage):
+        op = stage.bfly_op
+        return _supersteps(log_p, m * op.comm_width, op.op_count * m, params)
+
+    if isinstance(stage, ComcastStage):
+        op = stage.comcast_op
+        if stage.impl == "repeat":
+            return _supersteps(log_p, m, 0.0, params) + log_p * op.op_count * m
+        return _supersteps(log_p, m * op.state_width, op.op_count * m, params)
+
+    if isinstance(stage, IterStage):
+        local = log_p * m * stage.iter_op.op_count
+        if stage.then_bcast:
+            local += _supersteps(log_p, m, 0.0, params)
+        return local
+
+    if isinstance(stage, AllGatherStage):
+        p = params.p
+        # recursive doubling: log p supersteps, h doubling up to (p-1)m
+        return log_p * params.l + (p - 1) * m * stage.width * params.g
+
+    raise TypeError(f"no BSP cost model for stage {stage!r}")
+
+
+def bsp_program_cost(program: Program | Iterable[Stage], params: BSPParams) -> float:
+    """Total BSP time (supersteps are additive by definition)."""
+    stages = program.stages if isinstance(program, Program) else tuple(program)
+    return sum(bsp_stage_cost(s, params) for s in stages)

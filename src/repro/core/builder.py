@@ -1,0 +1,103 @@
+"""Fluent program builder.
+
+Constructing stage tuples by hand is verbose; the builder gives the
+method-chaining form most users expect::
+
+    from repro.core.builder import program
+    example = (program("Example")
+               .map(lambda x: 2 * x, label="f", ops=1)
+               .scan(MUL)
+               .reduce(ADD)
+               .map(lambda u: u + 1, label="g", ops=1)
+               .bcast()
+               .build())
+
+Builders are single-use and validate as they go (e.g. operators must be
+`BinOp`s); `build()` returns an ordinary immutable `Program`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.operators import BinOp
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = ["ProgramBuilder", "program"]
+
+
+class ProgramBuilder:
+    """Accumulates stages; every method returns ``self`` for chaining."""
+
+    def __init__(self, name: str = "program") -> None:
+        self._name = name
+        self._stages: list[Stage] = []
+        self._built = False
+
+    # -- local stages ---------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], label: str = "f",
+            ops: int = 0) -> "ProgramBuilder":
+        """``map fn`` — a local stage on every processor."""
+        self._stages.append(MapStage(fn, label=label, ops_per_element=ops))
+        return self
+
+    def map_indexed(self, fn: Callable[[int, Any], Any], label: str = "f",
+                    ops: int = 0) -> "ProgramBuilder":
+        """``map# fn`` — the local stage also sees the rank."""
+        self._stages.append(MapIndexedStage(fn, label=label, ops_per_element=ops))
+        return self
+
+    def map2(self, fn: Callable, other: Sequence[Any], label: str = "f",
+             indexed: bool = False, ops: int = 0) -> "ProgramBuilder":
+        """``map2 fn other`` — binary map against a distributed constant."""
+        self._stages.append(Map2Stage(fn, other=tuple(other), label=label,
+                                      indexed=indexed, ops_per_element=ops))
+        return self
+
+    # -- collective stages -----------------------------------------------------
+
+    def _check_op(self, op: BinOp, what: str) -> BinOp:
+        if not isinstance(op, BinOp):
+            raise TypeError(f"{what} needs a BinOp, got {op!r}")
+        return op
+
+    def scan(self, op: BinOp) -> "ProgramBuilder":
+        self._stages.append(ScanStage(self._check_op(op, "scan")))
+        return self
+
+    def reduce(self, op: BinOp) -> "ProgramBuilder":
+        self._stages.append(ReduceStage(self._check_op(op, "reduce")))
+        return self
+
+    def allreduce(self, op: BinOp) -> "ProgramBuilder":
+        self._stages.append(AllReduceStage(self._check_op(op, "allreduce")))
+        return self
+
+    def bcast(self) -> "ProgramBuilder":
+        self._stages.append(BcastStage())
+        return self
+
+    # -- finishing --------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Freeze into an immutable Program (builder becomes unusable)."""
+        if self._built:
+            raise RuntimeError("builder already consumed; create a new one")
+        self._built = True
+        return Program(self._stages, name=self._name)
+
+
+def program(name: str = "program") -> ProgramBuilder:
+    """Entry point: ``program("Name").map(...).scan(...).build()``."""
+    return ProgramBuilder(name)

@@ -1,0 +1,379 @@
+"""Cost calculus (paper Section 4).
+
+Machine model: a virtual fully connected system; two processors exchange
+blocks of ``m`` words in ``ts + m*tw`` (start-up plus per-word time); one
+computation operation costs one time unit.  All three base collectives use
+the butterfly implementation with ``log p`` phases (paper eqs. 15-17):
+
+* ``T_bcast  = log p * (ts + m*tw)``
+* ``T_reduce = log p * (ts + m*(tw + 1))``
+* ``T_scan   = log p * (ts + m*(tw + 2))``
+
+This module provides
+
+* :class:`MachineParams` — the model parameters (p, ts, tw, m);
+* :func:`stage_cost` / :func:`program_cost` — generic cost of any stage
+  AST, parametric in operator widths and op-counts (this is what the
+  optimizer minimizes);
+* :class:`CostFormula` — a symbolic ``a*ts + m*(b*tw + c)`` (per ``log p``)
+  form, used to regenerate Table 1 exactly and to solve crossovers.
+
+The generic stage costing and the closed Table-1 forms are proven
+consistent against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Iterable
+
+from repro.core.stages import (
+    AllGatherStage,
+    AllReduceStage,
+    GatherStage,
+    ScatterStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = [
+    "MachineParams",
+    "stage_cost",
+    "program_cost",
+    "CostFormula",
+    "bcast_formula",
+    "reduce_formula",
+    "scan_formula",
+    "PARSYTEC_LIKE",
+    "LOW_LATENCY",
+    "HIGH_LATENCY",
+    "SymbolicCost",
+    "stage_formula",
+    "program_formula",
+]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Machine/model parameters of the paper's Section 4.1.
+
+    ``p`` — number of processors; ``ts`` — message start-up time;
+    ``tw`` — per-word transfer time; ``m`` — block length (elements per
+    processor).  Times are in units of one elementary computation.
+    """
+
+    p: int
+    ts: float
+    tw: float
+    m: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("need at least one processor")
+        if self.m < 0:
+            raise ValueError("block size cannot be negative")
+        if self.ts < 0 or self.tw < 0:
+            raise ValueError("ts/tw cannot be negative")
+
+    @property
+    def log_p(self) -> float:
+        """The ``log p`` factor of the butterfly implementations."""
+        return math.log2(self.p) if self.p > 1 else 0.0
+
+    def link(self, a: int, b: int) -> tuple[float, float]:
+        """(ts, tw) of the link between ranks ``a`` and ``b``.
+
+        The paper's model is a uniform fully connected network; subclasses
+        (e.g. the cluster-of-SMPs model) override this to make inter-node
+        links slower than intra-node ones.
+        """
+        return (self.ts, self.tw)
+
+    def contention_domains(self, a: int, b: int) -> tuple:
+        """Shared resources a message between ``a`` and ``b`` occupies.
+
+        The paper's model is contention-free (empty tuple).  The
+        cluster-of-SMPs model returns the two node NICs for inter-node
+        messages, which then serialize through them — the effect that
+        makes hierarchical collectives win on real SMP clusters.
+        """
+        return ()
+
+    def with_(self, **kw) -> "MachineParams":
+        return replace(self, **kw)
+
+
+#: MPICH-1-era message-passing network similar to the paper's Parsytec:
+#: start-up dominates per-word cost by ~2 orders of magnitude.
+PARSYTEC_LIKE = MachineParams(p=64, ts=600.0, tw=2.0, m=1024)
+#: A low-latency shared-memory-like machine (rules trading ts for ops lose).
+LOW_LATENCY = MachineParams(p=64, ts=4.0, tw=0.5, m=1024)
+#: An extreme WAN/cluster-of-clusters regime (start-up utterly dominates).
+HIGH_LATENCY = MachineParams(p=64, ts=50000.0, tw=10.0, m=1024)
+
+
+# ---------------------------------------------------------------------------
+# Generic stage costing
+# ---------------------------------------------------------------------------
+
+
+def stage_cost(stage: Stage, params: MachineParams) -> float:
+    """Time of one stage under the butterfly cost model.
+
+    Local ``map`` stages cost ``m * ops_per_element`` (no ``log p`` factor);
+    every collective costs ``log p * (ts + m * (words*tw + ops))`` with the
+    stage-specific per-element word volume and operation count.
+    """
+    log_p, ts, tw, m = params.log_p, params.ts, params.tw, params.m
+
+    if isinstance(stage, (MapStage, MapIndexedStage, Map2Stage)):
+        return m * stage.ops_per_element
+
+    if isinstance(stage, BcastStage):
+        return log_p * (ts + m * tw)
+
+    if isinstance(stage, AllGatherStage):
+        p = params.p
+        if p & (p - 1) == 0:
+            # recursive doubling: log p start-ups, (p-1) block volumes
+            return log_p * ts + (p - 1) * m * stage.width * tw
+        # ring: p-1 rounds; synchronous (rendezvous) links mean each
+        # round needs two communication slots — plus one extra slot per
+        # round pair on odd rings (odd cycles are not 2-edge-colorable)
+        slots = 2 * (p - 1) if p % 2 == 0 else 2 * p
+        return slots * (ts + m * stage.width * tw)
+
+    if isinstance(stage, (ScatterStage, GatherStage)):
+        # binomial halving/doubling: ceil(log p) messages through the
+        # root carrying (p-1) blocks in total — exact for every p
+        p = params.p
+        phases = (p - 1).bit_length()
+        return phases * ts + (p - 1) * m * stage.width * tw
+
+    if isinstance(stage, ScanStage):
+        w, c = stage.op.width, stage.op.op_count
+        return log_p * (ts + m * (w * tw + 2 * c))
+
+    if isinstance(stage, (ReduceStage, AllReduceStage)):
+        w, c = stage.op.width, stage.op.op_count
+        return log_p * (ts + m * (w * tw + c))
+
+    if isinstance(stage, BalancedReduceStage):
+        op = stage.tree_op
+        return log_p * (ts + m * (op.comm_width * tw + op.op_count))
+
+    if isinstance(stage, BalancedScanStage):
+        op = stage.bfly_op
+        return log_p * (ts + m * (op.comm_width * tw + op.op_count))
+
+    if isinstance(stage, ComcastStage):
+        op = stage.comcast_op
+        if stage.impl == "repeat":
+            # broadcast + local repeat: log p phases of (ts + m tw), then
+            # log p digit steps of m * op_count local work.
+            return log_p * (ts + m * (tw + op.op_count))
+        # cost-optimal doubling: log p phases shipping whole tuple states;
+        # every processor applies exactly one digit function per phase.
+        return log_p * (ts + m * (op.state_width * tw + op.op_count))
+
+    if isinstance(stage, IterStage):
+        local = log_p * m * stage.iter_op.op_count
+        if stage.then_bcast:
+            local += log_p * (ts + m * tw)
+        return local
+
+    raise TypeError(f"no cost model for stage {stage!r}")
+
+
+def program_cost(program: Program | Iterable[Stage], params: MachineParams) -> float:
+    """Total model time of a program (sum of stage costs)."""
+    stages = program.stages if isinstance(program, Program) else tuple(program)
+    return sum(stage_cost(s, params) for s in stages)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic cost formulas (Table 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostFormula:
+    """A symbolic per-``log p`` cost ``a*ts + m*(b*tw + c)``.
+
+    Exact-arithmetic (Fraction) coefficients so Table 1 is regenerated
+    literally.  Formulas add; subtracting gives the improvement margin.
+    """
+
+    a: Fraction  # coefficient of ts
+    b: Fraction  # coefficient of m*tw
+    c: Fraction  # coefficient of m (computation)
+
+    @staticmethod
+    def of(a: int | Fraction, b: int | Fraction, c: int | Fraction) -> "CostFormula":
+        return CostFormula(Fraction(a), Fraction(b), Fraction(c))
+
+    def __add__(self, other: "CostFormula") -> "CostFormula":
+        return CostFormula(self.a + other.a, self.b + other.b, self.c + other.c)
+
+    def __sub__(self, other: "CostFormula") -> "CostFormula":
+        return CostFormula(self.a - other.a, self.b - other.b, self.c - other.c)
+
+    def evaluate(self, params: MachineParams) -> float:
+        """Numeric value including the ``log p`` factor."""
+        return params.log_p * (
+            float(self.a) * params.ts
+            + params.m * (float(self.b) * params.tw + float(self.c))
+        )
+
+    def per_log_p(self, params: MachineParams) -> float:
+        """Numeric value of the bracket only (Table 1 omits ``log p``)."""
+        return (
+            float(self.a) * params.ts
+            + params.m * (float(self.b) * params.tw + float(self.c))
+        )
+
+    def is_positive(self, params: MachineParams) -> bool:
+        """Strictly positive at these parameters (for improvement margins)?"""
+        return self.per_log_p(params) > 0
+
+    def always_positive(self) -> bool:
+        """Positive for *every* ts>0, tw>=0, m>=1 — Table 1's "always"."""
+        return self.a >= 0 and self.b >= 0 and self.c >= 0 and (
+            self.a > 0 or self.b > 0 or self.c > 0
+        )
+
+    def pretty(self) -> str:
+        """Render like the paper: ``2ts + m*(2tw + 3)``."""
+
+        def coef(x: Fraction, sym: str) -> str:
+            if x == 0:
+                return ""
+            if x == 1:
+                return sym
+            if x.denominator == 1:
+                return f"{x.numerator}{sym}"
+            return f"({x}){sym}"
+
+        ts_part = coef(self.a, "ts")
+        inner = []
+        if self.b:
+            inner.append(coef(self.b, "tw"))
+        if self.c:
+            inner.append(str(self.c) if self.c.denominator == 1 else f"({self.c})")
+        m_part = f"m*({' + '.join(inner)})" if inner else ""
+        parts = [x for x in (ts_part, m_part) if x]
+        return " + ".join(parts) if parts else "0"
+
+
+def bcast_formula() -> CostFormula:
+    """Paper eq. (15): ``log p * (ts + m*tw)``."""
+    return CostFormula.of(1, 1, 0)
+
+
+def reduce_formula(op_count: int = 1, width: int = 1) -> CostFormula:
+    """Paper eq. (16) generalized to wide/composite operators."""
+    return CostFormula.of(1, width, op_count)
+
+
+def scan_formula(op_count: int = 1, width: int = 1) -> CostFormula:
+    """Paper eq. (17) generalized: two operator applications per phase."""
+    return CostFormula.of(1, width, 2 * op_count)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic program costs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolicCost:
+    """A full symbolic program cost: ``log p * (a*ts + m*(b*tw + c)) + d*m``.
+
+    The ``log p`` part is a :class:`CostFormula`; ``local`` collects the
+    per-element work of local map stages, which the butterfly model does
+    not multiply by ``log p``.  Evaluation agrees exactly with
+    :func:`program_cost`.
+    """
+
+    collective: CostFormula
+    local: Fraction  # coefficient of m (no log p factor)
+
+    def __add__(self, other: "SymbolicCost") -> "SymbolicCost":
+        return SymbolicCost(self.collective + other.collective,
+                            self.local + other.local)
+
+    def __sub__(self, other: "SymbolicCost") -> "SymbolicCost":
+        return SymbolicCost(self.collective - other.collective,
+                            self.local - other.local)
+
+    def evaluate(self, params: MachineParams) -> float:
+        return self.collective.evaluate(params) + float(self.local) * params.m
+
+    def pretty(self) -> str:
+        parts = []
+        coll = self.collective.pretty()
+        if coll != "0":
+            parts.append(f"log p * ({coll})")
+        if self.local:
+            loc = (f"{self.local.numerator}m" if self.local.denominator == 1
+                   else f"({self.local})m")
+            parts.append(loc)
+        return " + ".join(parts) if parts else "0"
+
+
+def stage_formula(stage: Stage) -> SymbolicCost:
+    """Symbolic cost of one stage (exact-arithmetic coefficients)."""
+    zero = CostFormula.of(0, 0, 0)
+
+    if isinstance(stage, (MapStage, MapIndexedStage, Map2Stage)):
+        return SymbolicCost(zero, Fraction(stage.ops_per_element))
+    if isinstance(stage, BcastStage):
+        return SymbolicCost(bcast_formula(), Fraction(0))
+    if isinstance(stage, ScanStage):
+        return SymbolicCost(scan_formula(stage.op.op_count, stage.op.width),
+                            Fraction(0))
+    if isinstance(stage, (ReduceStage, AllReduceStage)):
+        return SymbolicCost(reduce_formula(stage.op.op_count, stage.op.width),
+                            Fraction(0))
+    if isinstance(stage, BalancedReduceStage):
+        op = stage.tree_op
+        return SymbolicCost(CostFormula.of(1, op.comm_width, op.op_count),
+                            Fraction(0))
+    if isinstance(stage, BalancedScanStage):
+        op = stage.bfly_op
+        return SymbolicCost(CostFormula.of(1, op.comm_width, op.op_count),
+                            Fraction(0))
+    if isinstance(stage, ComcastStage):
+        op = stage.comcast_op
+        if stage.impl == "repeat":
+            return SymbolicCost(CostFormula.of(1, 1, op.op_count), Fraction(0))
+        return SymbolicCost(CostFormula.of(1, op.state_width, op.op_count),
+                            Fraction(0))
+    if isinstance(stage, IterStage):
+        # iter's doubling runs log p times: model it in the log p part
+        coll = CostFormula.of(0, 0, stage.iter_op.op_count)
+        if stage.then_bcast:
+            coll = coll + bcast_formula()
+        return SymbolicCost(coll, Fraction(0))
+    raise TypeError(f"no symbolic cost for stage {stage!r}")
+
+
+def program_formula(program: Program | Iterable[Stage]) -> SymbolicCost:
+    """Symbolic total cost of a program; evaluates to :func:`program_cost`."""
+    stages = program.stages if isinstance(program, Program) else tuple(program)
+    total = SymbolicCost(CostFormula.of(0, 0, 0), Fraction(0))
+    for stage in stages:
+        total = total + stage_formula(stage)
+    return total

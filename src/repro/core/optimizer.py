@@ -1,0 +1,184 @@
+"""Cost-directed optimizer over the rewrite graph (the paper's "method").
+
+The paper's design process is: find compositions of collective operations,
+consider every applicable rule, and apply those whose Table-1 condition
+holds on the target machine.  This module automates that:
+
+* :func:`optimize` — explore the rewrite graph (exhaustive Dijkstra-style
+  search, or greedy steepest descent) and return the cheapest program
+  reachable under the machine parameters, together with the derivation.
+* :class:`OptimizationResult` — before/after costs, the step trace, and a
+  human-readable report.
+
+The search is exact for the exhaustive strategy: the rewrite graph of a
+program with a handful of collectives is tiny (rules only ever shrink or
+preserve the number of collective stages).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cost import MachineParams, program_cost
+from repro.core.rewrite import Derivation, Match, apply_match, find_matches
+from repro.core.rules import ALL_RULES, Rule, RuleApplication
+from repro.core.stages import Program
+
+__all__ = ["OptimizationResult", "optimize", "greedy_optimize", "exhaustive_optimize"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of an optimization run."""
+
+    derivation: Derivation
+    cost_before: float
+    cost_after: float
+    params: MachineParams
+    programs_explored: int
+
+    @property
+    def program(self) -> Program:
+        return self.derivation.final
+
+    @property
+    def speedup(self) -> float:
+        if self.cost_after == 0:
+            return float("inf") if self.cost_before > 0 else 1.0
+        return self.cost_before / self.cost_after
+
+    def report(self) -> str:
+        lines = [
+            f"machine: p={self.params.p}, ts={self.params.ts}, "
+            f"tw={self.params.tw}, m={self.params.m}",
+            self.derivation.describe(),
+            f"model cost: {self.cost_before:.1f} -> {self.cost_after:.1f} "
+            f"(speedup {self.speedup:.2f}x, {self.programs_explored} programs explored)",
+        ]
+        return "\n".join(lines)
+
+
+def _signature(program: Program) -> tuple[str, ...]:
+    return tuple(stage.pretty() for stage in program.stages)
+
+
+def _usable(match: Match, allow_lossy: bool) -> bool:
+    return match.safe or allow_lossy
+
+
+def greedy_optimize(
+    program: Program,
+    params: MachineParams,
+    rules: Iterable[Rule] = ALL_RULES,
+    allow_lossy: bool = False,
+    only_improving: bool = True,
+) -> OptimizationResult:
+    """Steepest-descent: repeatedly apply the single most cost-saving match.
+
+    With ``only_improving`` (the default, matching the paper's guidance),
+    a match is taken only if it lowers the model cost at ``params``.
+    """
+    rules = tuple(rules)
+    current = program
+    steps: list[RuleApplication] = []
+    explored = 1
+    while True:
+        candidates = []
+        for match in find_matches(current, rules, p=params.p):
+            if not _usable(match, allow_lossy):
+                continue
+            nxt, step = apply_match(current, match, p=params.p,
+                                    force_unsafe=allow_lossy)
+            explored += 1
+            candidates.append((program_cost(nxt, params), nxt, step))
+        if not candidates:
+            break
+        candidates.sort(key=lambda t: t[0])
+        best_cost, best_prog, best_step = candidates[0]
+        if only_improving and best_cost >= program_cost(current, params):
+            break
+        current = best_prog
+        steps.append(best_step)
+    derivation = Derivation(initial=program, final=current, steps=tuple(steps))
+    return OptimizationResult(
+        derivation=derivation,
+        cost_before=program_cost(program, params),
+        cost_after=program_cost(current, params),
+        params=params,
+        programs_explored=explored,
+    )
+
+
+def exhaustive_optimize(
+    program: Program,
+    params: MachineParams,
+    rules: Iterable[Rule] = ALL_RULES,
+    allow_lossy: bool = False,
+    max_states: int = 10_000,
+) -> OptimizationResult:
+    """Exact search: cheapest program reachable by any rewrite sequence.
+
+    Dijkstra over the rewrite graph with model cost as the node value.
+    Unlike the greedy strategy this can pass through cost-*neutral* or even
+    cost-increasing intermediate programs when a later fusion more than
+    pays them back (e.g. SS2-Scan enabling a subsequent fusion).
+    """
+    rules = tuple(rules)
+    start_cost = program_cost(program, params)
+    best_prog, best_cost = program, start_cost
+    best_steps: tuple[RuleApplication, ...] = ()
+
+    seen: set[tuple[str, ...]] = {_signature(program)}
+    counter = itertools.count()
+    frontier: list = [(start_cost, next(counter), program, ())]
+    explored = 1
+
+    while frontier and explored < max_states:
+        cost, _, prog, steps = heapq.heappop(frontier)
+        if cost < best_cost:
+            best_prog, best_cost, best_steps = prog, cost, steps
+        for match in find_matches(prog, rules, p=params.p):
+            if not _usable(match, allow_lossy):
+                continue
+            nxt, step = apply_match(prog, match, p=params.p,
+                                    force_unsafe=allow_lossy)
+            sig = _signature(nxt)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            explored += 1
+            heapq.heappush(
+                frontier,
+                (program_cost(nxt, params), next(counter), nxt, steps + (step,)),
+            )
+
+    derivation = Derivation(initial=program, final=best_prog, steps=best_steps)
+    return OptimizationResult(
+        derivation=derivation,
+        cost_before=start_cost,
+        cost_after=best_cost,
+        params=params,
+        programs_explored=explored,
+    )
+
+
+def optimize(
+    program: Program,
+    params: MachineParams,
+    rules: Iterable[Rule] = ALL_RULES,
+    strategy: str = "exhaustive",
+    allow_lossy: bool = False,
+) -> OptimizationResult:
+    """Optimize ``program`` for the machine described by ``params``.
+
+    ``strategy`` is ``"exhaustive"`` (exact; default) or ``"greedy"``
+    (steepest descent; the ablation benchmark compares both).
+    """
+    if strategy == "exhaustive":
+        return exhaustive_optimize(program, params, rules, allow_lossy)
+    if strategy == "greedy":
+        return greedy_optimize(program, params, rules, allow_lossy)
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,208 @@
+"""Rewrite engine: finding and applying rule matches in programs.
+
+A match is a rule plus the index of the stage window it fires on.  The
+engine is purely syntactic/algebraic — it checks stage shapes and operator
+side conditions, not machine parameters; cost-directed *choice* among
+matches is the optimizer's job (:mod:`repro.core.optimizer`).
+
+Local-class rules are semantic equalities only modulo undefined non-root
+blocks, so :func:`find_matches` marks whether each match site is *safe*
+(no later stage can observe the destroyed blocks) and the engine refuses
+unsafe lossy rewrites unless explicitly overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.rules import ALL_RULES, Rule, RuleApplication
+from repro.core.stages import BcastStage, Program, Stage
+
+__all__ = ["Match", "find_matches", "apply_match", "Derivation", "fuse_local_stages"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A rule that fires on ``program.stages[start : start + rule.window]``."""
+
+    rule: Rule
+    start: int
+    #: False when the rule is lossy and a later stage might read the blocks
+    #: the right-hand side leaves undefined.
+    safe: bool
+
+    def describe(self) -> str:
+        marker = "" if self.safe else "  [unsafe: destroys non-root blocks]"
+        return f"{self.rule.name} @ stage {self.start}{marker}"
+
+
+def _lossy_site_is_safe(program: Program, start: int, window: int) -> bool:
+    """May a lossy (Local-class) rule fire at this site?
+
+    Safe iff nothing after the window can observe non-root blocks: either
+    the window is a suffix of the program, or the very next stage is a
+    broadcast (which only reads the root block and re-defines the rest).
+    """
+    end = start + window
+    if end == len(program.stages):
+        return True
+    return isinstance(program.stages[end], BcastStage)
+
+
+def find_matches(
+    program: Program,
+    rules: Iterable[Rule] = ALL_RULES,
+    p: int | None = None,
+    allow_general: bool = True,
+) -> list[Match]:
+    """Every rule application site in ``program``.
+
+    ``p`` (the machine size) filters out power-of-two-only rules on
+    machines where the restriction fails, unless ``allow_general`` permits
+    the generalized Local extension.
+    """
+    matches: list[Match] = []
+    stages = program.stages
+    for rule in rules:
+        if rule.requires_power_of_two and p is not None:
+            pow2 = p > 0 and (p & (p - 1)) == 0
+            if not pow2 and not allow_general:
+                continue
+        w = rule.window
+        for start in range(len(stages) - w + 1):
+            window = stages[start : start + w]
+            if rule.match(window):
+                safe = (not rule.lossy_nonroot) or _lossy_site_is_safe(
+                    program, start, w
+                )
+                matches.append(Match(rule, start, safe))
+    return matches
+
+
+def apply_match(
+    program: Program,
+    match: Match,
+    p: int | None = None,
+    force_unsafe: bool = False,
+) -> tuple[Program, RuleApplication]:
+    """Apply one match, returning the rewritten program and the trace step."""
+    if not match.safe and not force_unsafe:
+        raise ValueError(
+            f"{match.rule.name} at stage {match.start} would destroy non-root "
+            "blocks that later stages may read (pass force_unsafe to override)"
+        )
+    rule, start = match.rule, match.start
+    window = program.stages[start : start + rule.window]
+    if not rule.match(window):
+        raise ValueError(f"{rule.name} does not match at stage {start}")
+    general = False
+    if rule.requires_power_of_two and p is not None:
+        general = not (p > 0 and (p & (p - 1)) == 0)
+    new_stages = rule.rewrite(window, general=general)
+    rewritten = program.replaced(start, rule.window, new_stages)
+    step = RuleApplication(rule=rule, start=start, removed=tuple(window),
+                          inserted=tuple(new_stages))
+    return rewritten, step
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A program together with the rewrite steps that produced it."""
+
+    initial: Program
+    final: Program
+    steps: tuple[RuleApplication, ...]
+
+    def describe(self) -> str:
+        lines = [f"initial: {self.initial.pretty()}"]
+        for i, step in enumerate(self.steps, 1):
+            lines.append(f"  step {i}: {step.describe()}")
+        lines.append(f"final:   {self.final.pretty()}")
+        return "\n".join(lines)
+
+    @property
+    def rules_used(self) -> tuple[str, ...]:
+        return tuple(step.rule.name for step in self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Local-stage fusion (the paper's §5.1 step from PolyEval_2 to PolyEval_3)
+# ---------------------------------------------------------------------------
+
+
+def _fuse_pair(first: Stage, second: Stage) -> Stage | None:
+    """Fuse two adjacent local stages into one, or None if not fusible."""
+    from repro.core.stages import Map2Stage, MapIndexedStage, MapStage
+
+    map_like = (MapStage, MapIndexedStage, Map2Stage)
+    if not (isinstance(first, map_like) and isinstance(second, map_like)):
+        return None  # e.g. IterStage is local but not a fusible map
+    label = f"{first.label};{second.label}"
+    ops = first.ops_per_element + second.ops_per_element
+    origin = "local-fusion"
+
+    if isinstance(first, MapStage) and isinstance(second, MapStage):
+        f, g = first.fn, second.fn
+        return MapStage(lambda x: g(f(x)), label=label, ops_per_element=ops,
+                        origin=origin)
+    if isinstance(first, MapStage) and isinstance(second, MapIndexedStage):
+        f, g = first.fn, second.fn
+        return MapIndexedStage(lambda k, x: g(k, f(x)), label=label,
+                               ops_per_element=ops, origin=origin)
+    if isinstance(first, MapIndexedStage) and isinstance(second, MapStage):
+        f, g = first.fn, second.fn
+        return MapIndexedStage(lambda k, x: g(f(k, x)), label=label,
+                               ops_per_element=ops, origin=origin)
+    if isinstance(first, MapIndexedStage) and isinstance(second, MapIndexedStage):
+        f, g = first.fn, second.fn
+        return MapIndexedStage(lambda k, x: g(k, f(k, x)), label=label,
+                               ops_per_element=ops, origin=origin)
+    if isinstance(first, MapStage) and isinstance(second, Map2Stage):
+        f = first.fn
+        if second.indexed:
+            g = second.fn
+            return Map2Stage(lambda k, x, y: g(k, f(x), y), other=second.other,
+                             label=label, indexed=True, ops_per_element=ops,
+                             origin=origin)
+        g = second.fn
+        return Map2Stage(lambda x, y: g(f(x), y), other=second.other,
+                         label=label, ops_per_element=ops, origin=origin)
+    if isinstance(first, MapIndexedStage) and isinstance(second, Map2Stage):
+        f = first.fn
+        if second.indexed:
+            g = second.fn
+            return Map2Stage(lambda k, x, y: g(k, f(k, x), y),
+                             other=second.other, label=label, indexed=True,
+                             ops_per_element=ops, origin=origin)
+        g = second.fn
+        return Map2Stage(lambda k, x, y: g(f(k, x), y), other=second.other,
+                         label=label, indexed=True, ops_per_element=ops,
+                         origin=origin)
+    if isinstance(first, Map2Stage) and isinstance(second, MapStage):
+        f, g = first.fn, second.fn
+        if first.indexed:
+            return Map2Stage(lambda k, x, y: g(f(k, x, y)), other=first.other,
+                             label=label, indexed=True, ops_per_element=ops,
+                             origin=origin)
+        return Map2Stage(lambda x, y: g(f(x, y)), other=first.other,
+                         label=label, ops_per_element=ops, origin=origin)
+    return None
+
+
+def fuse_local_stages(program: Program) -> Program:
+    """Merge every run of adjacent local stages into a single local stage.
+
+    This is the purely local transformation the paper uses to go from
+    PolyEval_2 to PolyEval_3 (fusing ``map# op_poly`` with ``map2 (×) as``
+    into ``map2# op_new``).  Collective stages are never touched.
+    """
+    stages: list[Stage] = []
+    for stage in program.stages:
+        if stages and not stage.is_collective and not stages[-1].is_collective:
+            fused = _fuse_pair(stages[-1], stage)
+            if fused is not None:
+                stages[-1] = fused
+                continue
+        stages.append(stage)
+    return Program(stages, name=program.name)

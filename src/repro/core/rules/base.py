@@ -1,0 +1,164 @@
+"""Rule framework: format, matching and application of optimization rules.
+
+Each optimization rule of the paper (Section 3.1's format) is a subclass of
+:class:`Rule` providing
+
+* ``window``      — how many consecutive stages the left-hand side spans;
+* ``match``       — does a stage window have the LHS shape *and* satisfy the
+  algebraic side condition (distributivity / commutativity)?
+* ``rewrite``     — produce the right-hand-side stages (tagged with the rule
+  name as their ``origin``);
+* Table-1 data    — closed-form before/after costs per ``log p`` for unit
+  base operators, plus the human-readable "improved if" condition.
+
+Rules that eliminate *all* communication (the Local class) are marked
+``lossy_nonroot``: their RHS leaves non-root blocks undefined, so they are
+semantic equalities only modulo the paper's ``_`` (see the discussion under
+BR-Local in the paper).  The optimizer refuses to apply them mid-program
+unless explicitly allowed.
+
+Rules whose ``iter`` exponent is ``log2 p`` are marked
+``requires_power_of_two``; passing ``general=True`` to ``rewrite`` selects
+our arbitrary-``p`` extension instead.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost import CostFormula, MachineParams
+from repro.core.operators import BinOp, distributes_over
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+from repro.semantics.functional import UNDEF, pair, quadruple, triple
+
+__all__ = ["Rule", "RuleApplication", "pair_stage", "triple_stage",
+           "quadruple_stage", "projection_stage", "safe_pi1"]
+
+
+def safe_pi1(t):
+    """π₁ lifted over the undefined block (Local rules leave ``_`` behind)."""
+    if t is UNDEF:
+        return UNDEF
+    return t[0]
+
+
+def pair_stage(origin: str) -> MapStage:
+    """The rules' pre-adjustment ``map pair`` (cost ignored, per paper §4.2)."""
+    return MapStage(pair, label="pair", origin=origin)
+
+
+def triple_stage(origin: str) -> MapStage:
+    """The BSS2 rules' pre-adjustment ``map triple``."""
+    return MapStage(triple, label="triple", origin=origin)
+
+
+def quadruple_stage(origin: str) -> MapStage:
+    """The SS/BSS rules' pre-adjustment ``map quadruple``."""
+    return MapStage(quadruple, label="quadruple", origin=origin)
+
+
+def projection_stage(origin: str) -> MapStage:
+    """The rules' post-adjustment ``map π1``."""
+    return MapStage(safe_pi1, label="pi_1", origin=origin)
+
+
+class Rule(ABC):
+    """An optimization rule ``lhs --{condition}--> rhs``."""
+
+    #: rule name as in the paper, e.g. "SR2-Reduction"
+    name: str = ""
+    #: number of consecutive stages matched by the LHS
+    window: int = 2
+    #: the side condition, verbatim from the paper
+    condition_text: str = ""
+    #: Table 1's "improved if" entry
+    improvement_text: str = ""
+    #: does the RHS leave non-root processors undefined?
+    lossy_nonroot: bool = False
+    #: does the RHS's `iter` require p to be a power of two?
+    requires_power_of_two: bool = False
+
+    # -- matching / rewriting ------------------------------------------------
+
+    @abstractmethod
+    def match(self, stages: Sequence[Stage]) -> bool:
+        """Shape and side-condition check on a window of ``self.window`` stages."""
+
+    @abstractmethod
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        """The RHS stages.  Only call when ``match`` returned True.
+
+        ``general=True`` selects the non-power-of-two extension where one
+        exists (Local rules); rules without the restriction ignore it.
+        """
+
+    # -- Table 1 -------------------------------------------------------------
+
+    @abstractmethod
+    def before_formula(self) -> CostFormula:
+        """LHS cost per ``log p`` for unit base operators (Table 1 column 2)."""
+
+    @abstractmethod
+    def after_formula(self) -> CostFormula:
+        """RHS cost per ``log p`` for unit base operators (Table 1 column 3)."""
+
+    def improvement_margin(self) -> CostFormula:
+        """before - after; positive where the rule pays off."""
+        return self.before_formula() - self.after_formula()
+
+    def improves(self, params: MachineParams) -> bool:
+        """Does the rule improve performance at these machine parameters?
+
+        Evaluates Table 1's condition exactly (unit base operators); for
+        composite operators use the generic stage costs instead.
+        """
+        return self.improvement_margin().is_positive(params)
+
+    def always_improves(self) -> bool:
+        """Table 1 "always" entries."""
+        return self.improvement_margin().always_positive()
+
+    # -- helpers shared by the concrete rules ---------------------------------
+
+    @staticmethod
+    def _is_scan(stage: Stage) -> bool:
+        return isinstance(stage, ScanStage)
+
+    @staticmethod
+    def _is_reduce(stage: Stage) -> bool:
+        return isinstance(stage, (ReduceStage, AllReduceStage))
+
+    @staticmethod
+    def _is_bcast(stage: Stage) -> bool:
+        return isinstance(stage, BcastStage)
+
+    @staticmethod
+    def _distributes(otimes: BinOp, oplus: BinOp) -> bool:
+        return distributes_over(otimes, oplus)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rule {self.name}>"
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """One rewrite step in a derivation trace."""
+
+    rule: Rule
+    start: int  # index of the first replaced stage
+    removed: tuple[Stage, ...]
+    inserted: tuple[Stage, ...]
+
+    def describe(self) -> str:
+        lhs = " ; ".join(s.pretty() for s in self.removed)
+        rhs = " ; ".join(s.pretty() for s in self.inserted)
+        return f"{self.rule.name}: [{lhs}]  -->  [{rhs}]"

@@ -1,0 +1,143 @@
+"""Class *Comcast*: fusing a broadcast with one or two scans (§3.4).
+
+The common target pattern is ``comcast``: if the root holds ``b``,
+processor ``i`` receives ``g^i b``.  It is implemented as a broadcast of
+``b`` followed by a *logarithmic* local computation per processor — the
+``repeat`` digit traversal of eq. (14) with rule-specific even/odd
+functions (Figure 6).
+
+* **BS-Comcast**::
+
+      bcast ; scan (⊕)   -->   bcast ; map# op_comp        (pair state)
+
+  Table 1: 2ts + m(2tw+2) → ts + m(tw+2); improves **always**.
+
+* **BSS2-Comcast** (corollary of SS2-Scan + BS-Comcast)::
+
+      bcast ; scan (⊗) ; scan (⊕)
+      --{ ⊗ distributes over ⊕ }-->  bcast ; map# op_comp  (triple state)
+
+  Table 1: 3ts + m(3tw+4) → ts + m(tw+5); improves iff **tw + ts/m > 1/2**.
+
+* **BSS-Comcast** — *not* derivable from SS-Scan + BS-Comcast (op_ss is not
+  associative, as the paper notes), formulated separately::
+
+      bcast ; scan (⊕) ; scan (⊕)
+      --{ ⊕ commutative }-->  bcast ; map# op_comp         (quadruple state)
+
+  Table 1: 3ts + m(3tw+4) → ts + m(tw+8); improves iff **tw + ts/m > 2**.
+
+Each rule's :meth:`rewrite` accepts ``impl="repeat"`` (default, faster) or
+``impl="doubling"`` (the cost-optimal pipeline the paper shows to be slower
+due to shipping tuple states); Figures 7/8 benchmark both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import CostFormula
+from repro.core.derived_ops import bs_comcast_op, bss2_comcast_op, bss_comcast_op
+from repro.core.rules.base import Rule
+from repro.core.stages import ComcastStage, Stage
+
+__all__ = ["BSComcast", "BSS2Comcast", "BSSComcast"]
+
+
+class _ComcastRule(Rule):
+    """Shared rewrite plumbing for the three Comcast rules."""
+
+    impl: str = "repeat"
+
+    def __init__(self, impl: str = "repeat") -> None:
+        if impl not in ("repeat", "doubling"):
+            raise ValueError(f"unknown comcast implementation {impl!r}")
+        self.impl = impl
+
+    def _make_op(self, stages: Sequence[Stage]):
+        raise NotImplementedError
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        op = self._make_op(stages)
+        return (ComcastStage(op, impl=self.impl, origin=self.name),)
+
+
+class BSComcast(_ComcastRule):
+    """bcast; scan(⊕)  →  bcast; map# op_comp  (Figure 6)."""
+
+    name = "BS-Comcast"
+    window = 2
+    condition_text = "⊕ associative (no extra condition)"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, s = stages
+        return self._is_bcast(b) and self._is_scan(s)
+
+    def _make_op(self, stages: Sequence[Stage]):
+        _b, s = stages
+        return bs_comcast_op(s.op)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 2)  # T_bcast + T_scan
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 2)  # bcast + log p repeat steps of 2 ops
+
+
+class BSS2Comcast(_ComcastRule):
+    """bcast; scan(⊗); scan(⊕)  →  bcast; map# op_comp (triples)."""
+
+    name = "BSS2-Comcast"
+    window = 3
+    condition_text = "⊗ distributes over ⊕"
+    improvement_text = "tw + ts/m > 1/2"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, s1, s2 = stages
+        return (
+            self._is_bcast(b)
+            and self._is_scan(s1)
+            and self._is_scan(s2)
+            and s1.op.name != s2.op.name
+            and self._distributes(s1.op, s2.op)
+        )
+
+    def _make_op(self, stages: Sequence[Stage]):
+        _b, s1, s2 = stages
+        return bss2_comcast_op(s1.op, s2.op)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(3, 3, 4)  # bcast + 2 scans
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 5)
+
+
+class BSSComcast(_ComcastRule):
+    """bcast; scan(⊕); scan(⊕)  →  bcast; map# op_comp (quadruples)."""
+
+    name = "BSS-Comcast"
+    window = 3
+    condition_text = "⊕ is commutative"
+    improvement_text = "tw + ts/m > 2"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, s1, s2 = stages
+        return (
+            self._is_bcast(b)
+            and self._is_scan(s1)
+            and self._is_scan(s2)
+            and s1.op.name == s2.op.name
+            and s1.op.commutative
+        )
+
+    def _make_op(self, stages: Sequence[Stage]):
+        _b, s1, _s2 = stages
+        return bss_comcast_op(s1.op)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(3, 3, 4)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 8)

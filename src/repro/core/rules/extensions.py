@@ -1,0 +1,146 @@
+"""Extension rules: sound fusions beyond the paper's catalogue.
+
+The paper's conclusions note that broadcast is one-to-all, reduction
+all-to-one and scan all-to-all, and that this input/output view dismisses
+some combinations as "not useful".  Four such combinations nevertheless
+occur constantly in real MPI code (often across program-composition
+seams, Figure 1) and admit sound always-improving fusions in exactly the
+paper's rule format.  We add them as *extensions*, kept in a separate
+registry (:data:`EXTENSION_RULES`) so the paper's original catalogue
+stays intact:
+
+* **RB-Allreduce**: ``reduce (⊕) ; bcast  →  allreduce (⊕)``
+  — the classic identity; halves the start-ups.
+* **AB-Allreduce**: ``allreduce (⊕) ; bcast  →  allreduce (⊕)``
+  — the broadcast of an already-replicated value is dead code.
+* **SB-Bcast**: ``scan (⊕) ; bcast  →  bcast``
+  — the broadcast reads only processor 0's block, which an inclusive
+  scan leaves untouched; the whole scan is dead code.
+* **BB-Bcast**: ``bcast ; bcast  →  bcast`` — idempotence.
+
+All four are unconditional (any associative operator) and improve
+"always" in the Table-1 sense.  Semantics are property-tested like the
+paper rules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import CostFormula
+from repro.core.rules.base import Rule
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = ["RBAllreduce", "ABAllreduce", "SBBcast", "BBBcast", "EXTENSION_RULES"]
+
+
+class RBAllreduce(Rule):
+    """reduce(⊕); bcast  →  allreduce(⊕)."""
+
+    name = "RB-Allreduce"
+    window = 2
+    condition_text = "⊕ associative (no extra condition)"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        r, b = stages
+        return isinstance(r, ReduceStage) and self._is_bcast(b)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        r, _b = stages
+        return (AllReduceStage(r.op, origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 1)  # T_reduce + T_bcast
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 1)  # T_allreduce
+
+
+class ABAllreduce(Rule):
+    """allreduce(⊕); bcast  →  allreduce(⊕)  (dead broadcast)."""
+
+    name = "AB-Allreduce"
+    window = 2
+    condition_text = "none (the value is already replicated)"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        a, b = stages
+        return isinstance(a, AllReduceStage) and self._is_bcast(b)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        a, _b = stages
+        return (AllReduceStage(a.op, origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 1)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 1)
+
+
+class SBBcast(Rule):
+    """scan(⊕); bcast  →  bcast  (the scan's output is never read).
+
+    An inclusive scan leaves processor 0's block unchanged, and the
+    broadcast reads only that block and overwrites every other one, so
+    the scan is dead code.  NOTE: this rule is *lossy on non-roots* in
+    the same sense as the Local rules — the broadcast itself redefines
+    every block, so the rewrite is a strict equality.
+    """
+
+    name = "SB-Bcast"
+    window = 2
+    condition_text = "none (inclusive scan fixes processor 0's block)"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        s, b = stages
+        return self._is_scan(s) and self._is_bcast(b)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        return (BcastStage(origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 2)  # T_scan + T_bcast
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 0)  # T_bcast
+
+
+class BBBcast(Rule):
+    """bcast; bcast  →  bcast  (idempotence)."""
+
+    name = "BB-Bcast"
+    window = 2
+    condition_text = "none"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        a, b = stages
+        return self._is_bcast(a) and self._is_bcast(b)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        return (BcastStage(origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 0)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 0)
+
+
+#: the extension catalogue; combine with ALL_RULES for the full rule set.
+EXTENSION_RULES: tuple[Rule, ...] = (
+    RBAllreduce(),
+    ABAllreduce(),
+    SBBcast(),
+    BBBcast(),
+)

@@ -1,0 +1,163 @@
+"""Class *Local*: replacing collectives by purely local computation (§3.5).
+
+When a broadcast feeds (scans and) a reduction, every processor's
+contribution is a function of the *same* root block, so the root can
+compute the final value alone, in ``log2 p`` doubling steps, with **no
+communication at all**:
+
+* **BR-Local**:    ``bcast; reduce(⊕)          → iter(op_br)``
+  (always improves: 2ts + m(2tw+1) → m)
+* **BSR2-Local**:  ``bcast; scan(⊗); reduce(⊕) → map pair; iter(op_bsr2); map π1``
+  requires distributivity; always improves: 3ts + m(3tw+3) → 3m.
+  (A corollary of SR2-Reduction + BR-Local.)
+* **BSR-Local**:   ``bcast; scan(⊕); reduce(⊕) → map pair; iter(op_bsr); map π1``
+  requires commutativity — *not* derivable from SR-Reduction + BR-Local
+  because op_sr is not associative; improves iff tw + ts/m ≥ 1/3:
+  3ts + m(3tw+3) → 4m.
+* **CR-Alllocal**: ``bcast; allreduce(⊕)       → iter(op_br); bcast``
+  (the "allreduce instead of reduce" variant: broadcast the local result).
+
+Caveats faithfully carried over from the paper:
+
+* The RHS leaves the non-root blocks *undefined* (the LHS's broadcast would
+  have replicated data).  All Local rules are ``lossy_nonroot``.
+* ``iter`` applies its operator exactly ``log2 |xs|`` times, so the rules
+  require a power-of-two machine; ``rewrite(..., general=True)`` selects our
+  arbitrary-``p`` extension (binary digits of ``p-1`` via the corresponding
+  Comcast operator).
+* The BSR2/BSR rules also accept ``allreduce`` as the final stage, adding a
+  trailing broadcast exactly as CR-Alllocal does for BR.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import CostFormula
+from repro.core.derived_ops import br_iter_op, bsr2_iter_op, bsr_iter_op
+from repro.core.rules.base import Rule
+from repro.core.stages import AllReduceStage, IterStage, ReduceStage, Stage
+
+__all__ = ["BRLocal", "BSR2Local", "BSRLocal", "CRAllLocal"]
+
+
+class _LocalRule(Rule):
+    lossy_nonroot = True
+    requires_power_of_two = True
+
+
+class BRLocal(_LocalRule):
+    """bcast; reduce(⊕)  →  iter(op_br)."""
+
+    name = "BR-Local"
+    window = 2
+    condition_text = "⊕ associative (no extra condition)"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, r = stages
+        return self._is_bcast(b) and isinstance(r, ReduceStage)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        _b, r = stages
+        return (IterStage(br_iter_op(r.op), general=general, origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 1)  # T_bcast + T_reduce
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(0, 0, 1)  # log p doublings of m elements
+
+
+class CRAllLocal(_LocalRule):
+    """bcast; allreduce(⊕)  →  iter(op_br); bcast."""
+
+    name = "CR-Alllocal"
+    window = 2
+    condition_text = "⊕ associative (no extra condition)"
+    improvement_text = "always"
+    # the trailing bcast re-defines every block: not lossy after all
+    lossy_nonroot = False
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, r = stages
+        return self._is_bcast(b) and isinstance(r, AllReduceStage)
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        _b, r = stages
+        return (
+            IterStage(br_iter_op(r.op), general=general, then_bcast=True,
+                      origin=self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 1)  # T_bcast + T_allreduce
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 1)  # local doubling + final bcast
+
+
+class BSR2Local(_LocalRule):
+    """bcast; scan(⊗); [all]reduce(⊕)  →  map pair; iter(op_bsr2); map π1."""
+
+    name = "BSR2-Local"
+    window = 3
+    condition_text = "⊗ distributes over ⊕"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, s, r = stages
+        return (
+            self._is_bcast(b)
+            and self._is_scan(s)
+            and self._is_reduce(r)
+            and s.op.name != r.op.name
+            and self._distributes(s.op, r.op)
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        _b, s, r = stages
+        to_all = isinstance(r, AllReduceStage)
+        return (
+            IterStage(bsr2_iter_op(s.op, r.op), general=general,
+                      then_bcast=to_all, origin=self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(3, 3, 3)  # bcast + scan + reduce
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(0, 0, 3)  # log p steps of 3 ops per element
+
+
+class BSRLocal(_LocalRule):
+    """bcast; scan(⊕); [all]reduce(⊕)  →  map pair; iter(op_bsr); map π1."""
+
+    name = "BSR-Local"
+    window = 3
+    condition_text = "⊕ is commutative"
+    improvement_text = "tw + ts/m >= 1/3"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        b, s, r = stages
+        return (
+            self._is_bcast(b)
+            and self._is_scan(s)
+            and self._is_reduce(r)
+            and s.op.name == r.op.name
+            and s.op.commutative
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        _b, s, r = stages
+        to_all = isinstance(r, AllReduceStage)
+        return (
+            IterStage(bsr_iter_op(s.op), general=general,
+                      then_bcast=to_all, origin=self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(3, 3, 3)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(0, 0, 4)  # log p steps of 4 ops per element

@@ -1,0 +1,108 @@
+"""Class *Reduction*: fusing a scan with a subsequent reduction (§3.2).
+
+Two rules:
+
+* **SR2-Reduction** — different base operators, ⊗ distributing over ⊕::
+
+      scan (⊗) ; [all]reduce (⊕)
+      --{ ⊗ distributes over ⊕ }-->
+      map pair ; [all]reduce (op_sr2) ; map π1
+
+  ``op_sr2`` is associative, so the target is an ordinary reduction.
+  Table 1: 2ts + m(2tw+3)  →  ts + m(2tw+3); improves **always**.
+
+* **SR-Reduction** — same operator, which must be commutative::
+
+      scan (⊕) ; [all]reduce (⊕)
+      --{ ⊕ commutative }-->
+      map pair ; [all]reduce_balanced (op_sr) ; map π1
+
+  ``op_sr`` is *not* associative; the target needs the balanced-tree
+  reduction of Figure 4.  Table 1: 2ts + m(2tw+3)  →  ts + m(2tw+4);
+  improves iff **ts > m**.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import CostFormula
+from repro.core.derived_ops import SRTreeOp, sr2_op
+from repro.core.rules.base import Rule, pair_stage, projection_stage
+from repro.core.stages import (
+    AllReduceStage,
+    BalancedReduceStage,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+
+__all__ = ["SR2Reduction", "SRReduction"]
+
+
+class SR2Reduction(Rule):
+    """scan(⊗); [all]reduce(⊕)  →  map pair; [all]reduce(op_sr2); map π1."""
+
+    name = "SR2-Reduction"
+    window = 2
+    condition_text = "⊗ distributes over ⊕"
+    improvement_text = "always"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        scan, red = stages
+        return (
+            self._is_scan(scan)
+            and self._is_reduce(red)
+            and scan.op.name != red.op.name
+            and self._distributes(scan.op, red.op)
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        scan, red = stages
+        fused = sr2_op(scan.op, red.op)
+        target_cls = AllReduceStage if isinstance(red, AllReduceStage) else ReduceStage
+        return (
+            pair_stage(self.name),
+            target_cls(fused, origin=self.name),
+            projection_stage(self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 3)  # T_scan + T_reduce
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 2, 3)  # one reduction of pairs, 3 ops/elem
+
+
+class SRReduction(Rule):
+    """scan(⊕); [all]reduce(⊕)  →  map pair; [all]reduce_balanced(op_sr); map π1."""
+
+    name = "SR-Reduction"
+    window = 2
+    condition_text = "⊕ is commutative"
+    improvement_text = "ts > m"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        scan, red = stages
+        return (
+            self._is_scan(scan)
+            and self._is_reduce(red)
+            and scan.op.name == red.op.name
+            and scan.op.commutative
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        scan, red = stages
+        tree_op = SRTreeOp(scan.op)
+        to_all = isinstance(red, AllReduceStage)
+        return (
+            pair_stage(self.name),
+            BalancedReduceStage(tree_op, to_all=to_all, origin=self.name),
+            projection_stage(self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 3)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 2, 4)  # balanced reduction, 4 ops/elem

@@ -1,0 +1,99 @@
+"""Class *Scan*: fusing two consecutive scans (§3.3).
+
+* **SS2-Scan** — different operators, ⊗ distributing over ⊕::
+
+      scan (⊗) ; scan (⊕)
+      --{ ⊗ distributes over ⊕ }-->
+      map pair ; scan (op_sr2) ; map π1
+
+  Reuses the associative ``op_sr2`` of SR2-Reduction.
+  Table 1: 2ts + m(2tw+4)  →  ts + m(2tw+6); improves iff **ts > 2m**
+  (the worked example of §4.2).
+
+* **SS-Scan** — same commutative operator::
+
+      scan (⊕) ; scan (⊕)
+      --{ ⊕ commutative }-->
+      map quadruple ; scan_balanced (op_ss) ; map π1
+
+  ``op_ss`` is non-associative and updates both butterfly partners at once
+  (Figure 5); value sharing reduces it from twelve to eight operations.
+  Table 1: 2ts + m(2tw+4)  →  ts + m(3tw+8); improves iff **ts > m(tw+4)**.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import CostFormula
+from repro.core.derived_ops import SSButterflyOp, sr2_op
+from repro.core.rules.base import Rule, pair_stage, projection_stage, quadruple_stage
+from repro.core.stages import BalancedScanStage, ScanStage, Stage
+
+__all__ = ["SS2Scan", "SSScan"]
+
+
+class SS2Scan(Rule):
+    """scan(⊗); scan(⊕)  →  map pair; scan(op_sr2); map π1."""
+
+    name = "SS2-Scan"
+    window = 2
+    condition_text = "⊗ distributes over ⊕"
+    improvement_text = "ts > 2m"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        first, second = stages
+        return (
+            self._is_scan(first)
+            and self._is_scan(second)
+            and first.op.name != second.op.name
+            and self._distributes(first.op, second.op)
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        first, second = stages
+        fused = sr2_op(first.op, second.op)
+        return (
+            pair_stage(self.name),
+            ScanStage(fused, origin=self.name),
+            projection_stage(self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 4)  # two butterfly scans
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 2, 6)  # one scan of pairs, 2*3 ops/elem
+
+
+class SSScan(Rule):
+    """scan(⊕); scan(⊕)  →  map quadruple; scan_balanced(op_ss); map π1."""
+
+    name = "SS-Scan"
+    window = 2
+    condition_text = "⊕ is commutative"
+    improvement_text = "ts > m*(tw + 4)"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        first, second = stages
+        return (
+            self._is_scan(first)
+            and self._is_scan(second)
+            and first.op.name == second.op.name
+            and first.op.commutative
+        )
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        first, _second = stages
+        bfly = SSButterflyOp(first.op)
+        return (
+            quadruple_stage(self.name),
+            BalancedScanStage(bfly, origin=self.name),
+            projection_stage(self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 4)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 3, 8)  # 3 words exchanged, 8 ops/elem

@@ -1,0 +1,78 @@
+"""Segmented collective operations (the NESL connection).
+
+The paper's introduction lists NESL's nested data parallelism among the
+frameworks built on collective operations.  The key device there is the
+**segmented scan**: a scan over a list partitioned into segments, where
+accumulation restarts at each segment head.  Classic result (Blelloch):
+segmented scan *is* an ordinary scan under the operator transformer
+
+    (f1, x1) ⊕seg (f2, x2) = (f1 ∨ f2,  x2            if f2
+                                        x1 ⊕ x2       otherwise)
+
+which is associative whenever ⊕ is — so every machine algorithm, cost
+estimate and rewrite rule in this library applies to segmented scans
+*unchanged*: build the transformed operator with :func:`segmented_op`,
+wrap values with :func:`to_segmented`, and use a normal ``ScanStage``.
+
+Note the transformer does **not** preserve commutativity (segment heads
+break symmetry), so the rules needing commutativity correctly refuse to
+fire on segmented operators — a nice exercise of the side conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.operators import BinOp
+
+__all__ = ["segmented_op", "to_segmented", "from_segmented", "segmented_scan"]
+
+
+def segmented_op(op: BinOp) -> BinOp:
+    """Lift ``op`` to (flag, value) pairs with segment-restart semantics."""
+
+    def fn(a: tuple[bool, Any], b: tuple[bool, Any]) -> tuple[bool, Any]:
+        f1, x1 = a
+        f2, x2 = b
+        if f2:
+            return (True, x2)
+        return (f1 or f2, op(x1, x2))
+
+    return BinOp(
+        name=f"seg[{op.name}]",
+        fn=fn,
+        associative=op.associative,
+        commutative=False,  # segment heads break commutativity
+        op_count=op.op_count + 1,  # one flag update per combine
+        width=op.width + 1,        # the flag travels with the value
+    )
+
+
+def to_segmented(values: Sequence[Any], flags: Sequence[bool]) -> list[tuple[bool, Any]]:
+    """Zip a value list with its segment-head flags (first flag forced True)."""
+    if len(values) != len(flags):
+        raise ValueError("values and flags must have equal length")
+    out = [(bool(f), v) for f, v in zip(flags, values)]
+    if out:
+        out[0] = (True, out[0][1])
+    return out
+
+
+def from_segmented(pairs: Sequence[tuple[bool, Any]]) -> list[Any]:
+    """Drop the flags."""
+    return [v for _f, v in pairs]
+
+
+def segmented_scan(op: BinOp, values: Sequence[Any], flags: Sequence[bool]) -> list[Any]:
+    """Reference segmented inclusive scan (the specification).
+
+    Restarts the running accumulation at every ``True`` flag.
+    """
+    if len(values) != len(flags):
+        raise ValueError("values and flags must have equal length")
+    out: list[Any] = []
+    acc: Any = None
+    for v, f in zip(values, flags):
+        acc = v if (f or acc is None) else op(acc, v)
+        out.append(acc)
+    return out

@@ -1,0 +1,142 @@
+"""Semiring operator constructors.
+
+The ``*2`` rules' distributivity premise is exactly the semiring axiom,
+so every semiring yields a family of fusable operator pairs.  This
+module builds the classic ones over scalars and over square matrices:
+
+* **tropical** (min, +) — shortest paths; (max, +) — critical paths;
+* **Viterbi** (max, ×) over [0, 1] — most probable paths;
+* **Boolean** (or, and) — reachability;
+* :func:`matrix_semiring` — lifts any scalar semiring to n×n matrices
+  (the "matrix product" uses ⊕ for accumulation and ⊗ for multiplication),
+  preserving associativity and declaring ⊗-over-⊕ distributivity of the
+  *elementwise* ⊕ — the algebra behind the shortest-path application.
+
+Matrices are tuples of tuples (hashable, immutable); ``op_count``/
+``width`` metadata scales with n so the cost model prices matrix traffic
+honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.operators import BinOp, declare_distributes
+
+__all__ = [
+    "Semiring",
+    "TROPICAL_MIN_PLUS",
+    "TROPICAL_MAX_PLUS",
+    "VITERBI",
+    "BOOLEAN",
+    "matrix_semiring",
+    "INF",
+]
+
+#: additive infinity of the (min, +) semiring
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring (⊕, ⊗) with identities (zero, one).
+
+    ``plus`` must be associative and commutative, ``times`` associative,
+    and ``times`` distributes over ``plus`` — which is declared in the
+    operator registry so the ``*2`` rules fire on the pair.
+    """
+
+    name: str
+    plus: BinOp
+    times: BinOp
+    zero: Any
+    one: Any
+
+    def __post_init__(self) -> None:
+        declare_distributes(self.times, self.plus)
+
+
+def _binop(name: str, fn: Callable, identity: Any, commutative: bool = True) -> BinOp:
+    return BinOp(name, fn, commutative=commutative, identity=identity,
+                 has_identity=True)
+
+
+TROPICAL_MIN_PLUS = Semiring(
+    name="tropical(min,+)",
+    plus=_binop("trop_min", min, INF),
+    times=_binop("trop_plus", lambda a, b: a + b, 0.0),
+    zero=INF,
+    one=0.0,
+)
+
+TROPICAL_MAX_PLUS = Semiring(
+    name="tropical(max,+)",
+    plus=_binop("trop_max", max, -INF),
+    times=_binop("trop_plus2", lambda a, b: a + b, 0.0),
+    zero=-INF,
+    one=0.0,
+)
+
+VITERBI = Semiring(
+    name="viterbi(max,*)",
+    plus=_binop("vit_max", max, 0.0),
+    times=_binop("vit_mul", lambda a, b: a * b, 1.0),
+    zero=0.0,
+    one=1.0,
+)
+
+BOOLEAN = Semiring(
+    name="boolean(or,and)",
+    plus=_binop("bool_or", lambda a, b: a or b, False),
+    times=_binop("bool_and", lambda a, b: a and b, True),
+    zero=False,
+    one=True,
+)
+
+
+def matrix_semiring(base: Semiring, n: int) -> Semiring:
+    """The semiring of n×n matrices over ``base``.
+
+    ``plus`` is elementwise ⊕; ``times`` is the ⊕/⊗ matrix product —
+    associative, non-commutative, with the ⊕-identity-filled matrix as
+    zero and the ⊗-one diagonal as one.  ``op_count`` reflects the true
+    work (n² for plus, ~2n³ for times); ``width`` is n² words.
+    """
+    bp, bt = base.plus, base.times
+    zero_m = tuple(tuple(base.zero for _ in range(n)) for _ in range(n))
+    one_m = tuple(
+        tuple(base.one if i == j else base.zero for j in range(n))
+        for i in range(n)
+    )
+
+    def mat_plus(a, b):
+        return tuple(
+            tuple(bp(a[i][j], b[i][j]) for j in range(n)) for i in range(n)
+        )
+
+    def mat_times(a, b):
+        out = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                acc = base.zero
+                for k in range(n):
+                    acc = bp(acc, bt(a[i][k], b[k][j]))
+                row.append(acc)
+            out.append(tuple(row))
+        return tuple(out)
+
+    plus = BinOp(f"matplus{n}[{base.name}]", mat_plus, commutative=True,
+                 identity=zero_m, has_identity=True,
+                 op_count=n * n, width=n * n)
+    times = BinOp(f"mattimes{n}[{base.name}]", mat_times, commutative=False,
+                  identity=one_m, has_identity=True,
+                  op_count=2 * n * n * n, width=n * n)
+    return Semiring(
+        name=f"matrix{n}[{base.name}]",
+        plus=plus,
+        times=times,
+        zero=zero_m,
+        one=one_m,
+    )

@@ -1,0 +1,29 @@
+"""Mini MPI-like surface language (the paper's program notation).
+
+``parse_program`` turns MPI-like text into a :class:`ProgramDecl`;
+``ProgramDecl.to_program(env)`` resolves operator/function names and
+validates the dataflow chain; ``to_mpi_text`` prints optimized Programs
+back in the same notation.
+"""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import (
+    CollectiveStmt,
+    LocalStmt,
+    ParseError,
+    ProgramDecl,
+    parse_program,
+)
+from repro.lang.printer import to_mpi_text
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_program",
+    "ProgramDecl",
+    "LocalStmt",
+    "CollectiveStmt",
+    "ParseError",
+    "to_mpi_text",
+]

@@ -1,0 +1,100 @@
+"""Pretty-printer: stage Programs back to MPI-like surface text.
+
+Round-trips the stages the parser produces; rule-introduced stages print
+as the "new collective operations" the paper's conclusions describe
+(``MPI_Reduce_balanced``, ``MPI_Scan_balanced``, ``Comcast``, ``Iter``),
+annotated with the rule that created them.
+"""
+
+from __future__ import annotations
+
+from repro.core.stages import (
+    AllGatherStage,
+    GatherStage,
+    ScatterStage,
+    AllReduceStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+__all__ = ["to_mpi_text"]
+
+_VARS = "xyzuvwabcdefgh"
+
+
+def _var(i: int) -> str:
+    if i < len(_VARS):
+        return _VARS[i]
+    return f"t{i}"
+
+
+def to_mpi_text(program: Program) -> str:
+    """Render a Program as MPI-like pseudo code (the paper's notation)."""
+    lines = [f"Program {program.name} ({_var(0)}: input);"]
+    cur = 0
+    for stage in program.stages:
+        src = _var(cur)
+        comment = f"  // introduced by {stage.origin}" if stage.origin else ""
+        if isinstance(stage, MapStage):
+            cur += 1
+            lines.append(f"{_var(cur)} = {stage.label} ({src});{comment}")
+        elif isinstance(stage, MapIndexedStage):
+            cur += 1
+            lines.append(f"{_var(cur)} = {stage.label} (rank, {src});{comment}")
+        elif isinstance(stage, Map2Stage):
+            cur += 1
+            hash_ = "#" if stage.indexed else ""
+            lines.append(f"{_var(cur)} = map2{hash_} {stage.label} ({src}, as);{comment}")
+        elif isinstance(stage, ScanStage):
+            cur += 1
+            lines.append(f"MPI_Scan ({src}, {_var(cur)}, {stage.op.name});{comment}")
+        elif isinstance(stage, ReduceStage):
+            cur += 1
+            lines.append(f"MPI_Reduce ({src}, {_var(cur)}, {stage.op.name}, root);{comment}")
+        elif isinstance(stage, AllReduceStage):
+            cur += 1
+            lines.append(f"MPI_Allreduce ({src}, {_var(cur)}, {stage.op.name});{comment}")
+        elif isinstance(stage, BcastStage):
+            lines.append(f"MPI_Bcast ({src}, root);{comment}")
+        elif isinstance(stage, AllGatherStage):
+            cur += 1
+            lines.append(f"MPI_Allgather ({src}, {_var(cur)});{comment}")
+        elif isinstance(stage, ScatterStage):
+            cur += 1
+            lines.append(f"MPI_Scatter ({src}, {_var(cur)}, root);{comment}")
+        elif isinstance(stage, GatherStage):
+            cur += 1
+            lines.append(f"MPI_Gather ({src}, {_var(cur)}, root);{comment}")
+        elif isinstance(stage, BalancedReduceStage):
+            cur += 1
+            call = "MPI_Allreduce_balanced" if stage.to_all else "MPI_Reduce_balanced"
+            lines.append(f"{call} ({src}, {_var(cur)}, {stage.tree_op.name});{comment}")
+        elif isinstance(stage, BalancedScanStage):
+            cur += 1
+            lines.append(
+                f"MPI_Scan_balanced ({src}, {_var(cur)}, {stage.bfly_op.name});{comment}"
+            )
+        elif isinstance(stage, ComcastStage):
+            cur += 1
+            lines.append(
+                f"Comcast[{stage.impl}] ({src}, {_var(cur)}, "
+                f"{stage.comcast_op.name});{comment}"
+            )
+        elif isinstance(stage, IterStage):
+            cur += 1
+            tail = "; MPI_Bcast" if stage.then_bcast else ""
+            lines.append(
+                f"{_var(cur)} = Iter ({stage.iter_op.name}, {src}){tail};{comment}"
+            )
+        else:  # pragma: no cover - future stages
+            lines.append(f"// unprintable stage: {stage.pretty()}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""All-to-all personalized exchange (MPI_Alltoall).
+
+Not used by any paper rule, but part of the collective repertoire the
+paper's introduction surveys, and needed by redistribution-heavy
+applications (e.g. the sample-sort example).  Two algorithms:
+
+* :func:`alltoall_pairwise` — for power-of-two machines: ``p-1`` rounds,
+  round ``r`` exchanging with partner ``rank XOR r``.  Every round is one
+  bidirectional message of ``m*width`` words.
+* a ring schedule fallback for arbitrary ``p``: round ``r`` sends to
+  ``rank + r`` and receives from ``rank - r`` (cyclically).
+
+Both deliver ``out[i] = blocks_from[i][rank]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.machine.primitives import RankContext
+
+__all__ = ["alltoall_pairwise"]
+
+
+def alltoall_pairwise(ctx: RankContext, blocks: Sequence[Any], width: int = 1):
+    """Personalized exchange: ``blocks[i]`` goes to rank ``i``.
+
+    Returns the list of blocks received, ordered by source rank.  Uses
+    the XOR schedule on power-of-two machines, a cyclic shift schedule
+    otherwise.
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    if len(blocks) != p:
+        raise ValueError("alltoall needs exactly one block per destination")
+    out: list[Any] = [None] * p
+    out[rank] = blocks[rank]
+    words = m * width
+
+    if p & (p - 1) == 0:
+        for r in range(1, p):
+            partner = rank ^ r
+            received = yield from ctx.sendrecv(partner, blocks[partner], words)
+            out[partner] = received
+        return out
+
+    for r in range(1, p):
+        dst = (rank + r) % p
+        src = (rank - r) % p
+        if dst == src:
+            # r = p/2 on an even machine: a genuine pairwise exchange
+            out[src] = yield from ctx.sendrecv(dst, blocks[dst], words)
+            continue
+        # stagger sends to avoid a send/send cycle: the lower endpoint of
+        # each (rank, dst) link sends first
+        if rank < dst:
+            yield from ctx.send(dst, blocks[dst], words)
+            out[src] = yield from ctx.recv(src)
+        else:
+            out[src] = yield from ctx.recv(src)
+            yield from ctx.send(dst, blocks[dst], words)
+    return out

@@ -1,0 +1,36 @@
+"""Broadcast: binomial doubling tree (paper eq. 15).
+
+``log p`` phases; in phase ``d`` every processor that already holds the
+block forwards it to its partner at distance ``2^d``.  Per-phase cost is
+one message of ``m*width`` words, so ``T_bcast = log p * (ts + m*tw)`` for
+scalar elements — exactly the paper's estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machine.primitives import RankContext
+
+__all__ = ["bcast_binomial"]
+
+
+def bcast_binomial(ctx: RankContext, value: Any, root: int = 0, width: int = 1):
+    """Broadcast ``value`` from ``root``; returns the block on every rank.
+
+    ``width`` is the per-element word count (tuple states cost more wire
+    words than scalars).
+    """
+    p = ctx.size
+    rel = (ctx.rank - root) % p
+    words = ctx.params.m * width
+    d = 1
+    while d < p:
+        if rel < d:
+            dst = rel + d
+            if dst < p:
+                yield from ctx.send((dst + root) % p, value, words)
+        elif rel < 2 * d:
+            value = yield from ctx.recv((rel - d + root) % p)
+        d *= 2
+    return value

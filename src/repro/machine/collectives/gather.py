@@ -1,0 +1,129 @@
+"""Gather / scatter / allgather — completing the collective set.
+
+The paper's rules only involve bcast/scan/reduce, but its introduction
+lists scatter and gather among the collective operations of interest, and
+the MPI-style front end (:mod:`repro.mpi`) exposes them.  Binomial-tree
+implementations with volume-weighted message costs: a subtree's data is
+``subtree_size * m * width`` words.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machine.primitives import RankContext
+from repro.semantics.functional import UNDEF
+
+__all__ = ["gather_binomial", "scatter_binomial", "allgather_ring", "allgather_doubling"]
+
+
+def gather_binomial(ctx: RankContext, value: Any, width: int = 1):
+    """Gather every rank's block to rank 0 (list ordered by rank).
+
+    Rank 0 returns ``[x_0, ..., x_{p-1}]``; other ranks return ``_``.
+    Mirror image of the binomial broadcast: in phase ``d`` (descending),
+    ranks at distance ``2^d`` ship their accumulated segments down.
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    segment: dict[int, Any] = {rank: value}
+    d = 1
+    while d < p:
+        if rank % (2 * d) == d:
+            dst = rank - d
+            yield from ctx.send(dst, segment, len(segment) * m * width)
+            segment = {}
+        elif rank % (2 * d) == 0 and rank + d < p:
+            received = yield from ctx.recv(rank + d)
+            segment.update(received)
+        d *= 2
+    if rank == 0:
+        return [segment[i] for i in range(p)]
+    return UNDEF
+
+
+def scatter_binomial(ctx: RankContext, values: Any, width: int = 1):
+    """Scatter a root list: rank ``i`` ends up with ``values[i]``.
+
+    Only rank 0's ``values`` argument is read (a list of ``p`` blocks);
+    follows the halving binomial tree, each message carrying the target
+    subtree's blocks.
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    if rank == 0:
+        if values is None or len(values) != p:
+            raise ValueError("scatter root needs exactly one block per rank")
+        segment = {i: v for i, v in enumerate(values)}
+    else:
+        segment = None
+
+    # Highest power of two below p
+    top = 1
+    while top * 2 < p:
+        top *= 2
+
+    d = top
+    while d >= 1:
+        if segment is not None and rank % (2 * d) == 0:
+            dst = rank + d
+            if dst < p:
+                to_send = {i: v for i, v in segment.items() if i >= dst}
+                segment = {i: v for i, v in segment.items() if i < dst}
+                if to_send:
+                    yield from ctx.send(dst, to_send, len(to_send) * m * width)
+        elif segment is None and rank % (2 * d) == d:
+            segment = yield from ctx.recv(rank - d)
+        d //= 2
+    assert segment is not None and rank in segment
+    return segment[rank]
+
+
+def allgather_ring(ctx: RankContext, value: Any, width: int = 1):
+    """Allgather via a ring: ``p - 1`` steps, each shipping one block.
+
+    Returns the full rank-ordered list on every processor.  Bandwidth
+    optimal (every link carries each block once) but start-up heavy —
+    a useful contrast to the butterfly collectives in the ablation bench.
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    blocks: dict[int, Any] = {rank: value}
+    if p == 1:
+        return [value]
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    carry_idx = rank
+    for _ in range(p - 1):
+        payload = (carry_idx, blocks[carry_idx])
+        if rank % 2 == 0:
+            yield from ctx.send(right, payload, m * width)
+            idx, blk = yield from ctx.recv(left)
+        else:
+            idx, blk = yield from ctx.recv(left)
+            yield from ctx.send(right, payload, m * width)
+        blocks[idx] = blk
+        carry_idx = idx
+    return [blocks[i] for i in range(p)]
+
+
+def allgather_doubling(ctx: RankContext, value: Any, width: int = 1):
+    """Allgather by recursive doubling (power-of-two machines).
+
+    Phase ``d`` exchanges the ``d`` blocks gathered so far with the XOR
+    partner, so volumes double: total cost
+    ``log p * ts + (p - 1) * m * width * tw`` — latency-optimal, and
+    bandwidth-equal to the ring.
+    """
+    p, rank = ctx.size, ctx.rank
+    if p & (p - 1):
+        raise ValueError("recursive-doubling allgather needs a power-of-two machine")
+    m = ctx.params.m
+    blocks: dict[int, Any] = {rank: value}
+    d = 1
+    while d < p:
+        partner = rank ^ d
+        received = yield from ctx.sendrecv(partner, blocks, len(blocks) * m * width)
+        blocks.update(received)
+        d *= 2
+    return [blocks[i] for i in range(p)]

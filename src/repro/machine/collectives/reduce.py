@@ -1,0 +1,73 @@
+"""Reduction: binomial-tree fold and butterfly allreduce (paper eq. 16).
+
+``reduce_binomial`` folds towards the root in ``log p`` phases, combining
+in rank order so non-commutative (merely associative) operators are safe.
+``allreduce_butterfly`` uses the recursive-doubling exchange on
+power-of-two machines (one combine per element per phase, matching
+``T_reduce = log p * (ts + m*(tw+1))``) and falls back to
+reduce-then-broadcast otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.operators import BinOp
+from repro.machine.collectives.bcast import bcast_binomial
+from repro.machine.primitives import RankContext
+from repro.semantics.functional import UNDEF
+
+__all__ = ["reduce_binomial", "allreduce_butterfly"]
+
+
+def reduce_binomial(ctx: RankContext, value: Any, op: BinOp, width: int | None = None):
+    """Reduce to rank 0; non-roots return the undefined block (MPI semantics).
+
+    Phase ``d`` merges blocks at distance ``2^d``: the higher partner sends,
+    the lower combines ``op(own, received)`` — received blocks always come
+    from higher ranks, preserving list order for non-commutative operators.
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    w = (op.width if width is None else width) * m
+    d = 1
+    while d < p:
+        if rank % (2 * d) == 0:
+            src = rank + d
+            if src < p:
+                other = yield from ctx.recv(src)
+                yield from ctx.compute(op.op_count * m)
+                value = op(value, other)
+        elif rank % (2 * d) == d:
+            yield from ctx.send(rank - d, value, w)
+            return UNDEF
+        d *= 2
+    return value if rank == 0 else UNDEF
+
+
+def allreduce_butterfly(ctx: RankContext, value: Any, op: BinOp, width: int | None = None):
+    """Allreduce: recursive doubling when ``p`` is a power of two.
+
+    Each phase exchanges blocks with the XOR partner and combines in rank
+    order (lower operand first).  For non-power-of-two machines the
+    butterfly coverage breaks, so we compose reduce + bcast instead (the
+    standard fallback; costs one extra ``log p`` of start-ups).
+    """
+    p, rank = ctx.size, ctx.rank
+    m = ctx.params.m
+    w = (op.width if width is None else width) * m
+    if p & (p - 1):  # not a power of two
+        value = yield from reduce_binomial(ctx, value, op, width)
+        value = yield from bcast_binomial(
+            ctx, value if rank == 0 else None, root=0,
+            width=(op.width if width is None else width),
+        )
+        return value
+    d = 1
+    while d < p:
+        partner = rank ^ d
+        other = yield from ctx.sendrecv(partner, value, w)
+        yield from ctx.compute(op.op_count * m)
+        value = op(value, other) if rank < partner else op(other, value)
+        d *= 2
+    return value

@@ -1,0 +1,111 @@
+"""Simulator primitives: the actions an SPMD rank coroutine can take.
+
+Rank programs are Python generators that *yield* actions and are resumed
+with the action's result.  Composition works with ``yield from``, so
+collective algorithms are ordinary generator functions returning values::
+
+    def my_rank_program(ctx):
+        total = yield from allreduce_butterfly(ctx, x, op, m)
+        yield from ctx.compute(5 * m)
+        return total
+
+Timing model (paper §4.1): a matched message of ``w`` machine words costs
+``ts + w*tw``, bidirectional exchanges cost the same as one message, one
+elementary computation costs one unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Send", "Recv", "SendRecv", "Compute", "Action", "RankContext"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Synchronous send of ``words`` machine words to ``dst``."""
+
+    dst: int
+    payload: Any
+    words: float
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive from ``src``; resumes with the payload."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    """Simultaneous bidirectional exchange with ``partner``.
+
+    Both sides must issue a matching SendRecv; the pair completes in
+    ``ts + max(words)*tw`` (full-duplex links, paper §4.1) and each side
+    resumes with the other's payload.
+    """
+
+    partner: int
+    payload: Any
+    words: float
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Local computation costing ``ops`` time units."""
+
+    ops: float
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Zero-cost observability marker: records (rank, tag, clock)."""
+
+    tag: Any
+
+
+Action = Send | Recv | SendRecv | Compute | Probe
+
+
+class RankContext:
+    """Per-rank handle passed to SPMD programs.
+
+    The communication methods are generators — call them with
+    ``yield from``.  ``rank``/``size`` identify the processor;
+    ``params`` carries the machine model (for m, ts, tw lookups by the
+    collective algorithms).
+    """
+
+    def __init__(self, rank: int, size: int, params) -> None:
+        self.rank = rank
+        self.size = size
+        self.params = params
+
+    def send(self, dst: int, payload: Any, words: float):
+        if not (0 <= dst < self.size) or dst == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid send destination {dst}")
+        yield Send(dst, payload, words)
+
+    def recv(self, src: int):
+        if not (0 <= src < self.size) or src == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid receive source {src}")
+        result = yield Recv(src)
+        return result
+
+    def sendrecv(self, partner: int, payload: Any, words: float):
+        if not (0 <= partner < self.size) or partner == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid exchange partner {partner}")
+        result = yield SendRecv(partner, payload, words)
+        return result
+
+    def compute(self, ops: float):
+        if ops < 0:
+            raise ValueError("negative computation cost")
+        if ops:
+            yield Compute(ops)
+
+    def probe(self, tag: Any):
+        """Record this rank's current virtual clock under ``tag``."""
+        yield Probe(tag)

@@ -1,0 +1,210 @@
+"""Running stage Programs on the simulated machine.
+
+:func:`simulate_program` compiles every stage of a
+:class:`repro.core.stages.Program` to the corresponding SPMD collective
+algorithm, runs all ranks on the discrete-event engine, and returns the
+final distributed list together with the simulated time.
+
+The result is checked against the reference semantics in the test suite,
+and the simulated times are checked against the closed-form cost model —
+the two pillars the paper's Table 1 stands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.cost import MachineParams
+from repro.core.stages import (
+    AllGatherStage,
+    AllReduceStage,
+    GatherStage,
+    ScatterStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+from repro.machine.collectives import (
+    allgather_doubling,
+    allgather_ring,
+    gather_binomial,
+    scatter_binomial,
+    allreduce_balanced_machine,
+    allreduce_butterfly,
+    bcast_binomial,
+    comcast_bcast_repeat,
+    comcast_doubling,
+    reduce_balanced_tree,
+    reduce_binomial,
+    scan_butterfly,
+)
+from repro.machine.engine import SimResult, run_spmd
+from repro.machine.primitives import RankContext
+from repro.semantics.functional import UNDEF
+
+__all__ = ["simulate_program", "execute_stage", "stage_breakdown", "StageTiming"]
+
+
+def execute_stage(ctx: RankContext, stage: Stage, x: Any):
+    """One stage of SPMD execution on rank ``ctx.rank`` (generator)."""
+    m = ctx.params.m
+
+    if isinstance(stage, MapStage):
+        yield from ctx.compute(stage.ops_per_element * m)
+        return UNDEF if x is UNDEF else stage.fn(x)
+
+    if isinstance(stage, MapIndexedStage):
+        yield from ctx.compute(stage.ops_per_element * m)
+        return UNDEF if x is UNDEF else stage.fn(ctx.rank, x)
+
+    if isinstance(stage, Map2Stage):
+        yield from ctx.compute(stage.ops_per_element * m)
+        if x is UNDEF:
+            return UNDEF
+        y = stage.other[ctx.rank]
+        if stage.indexed:
+            return stage.fn(ctx.rank, x, y)
+        return stage.fn(x, y)
+
+    if isinstance(stage, BcastStage):
+        value = yield from bcast_binomial(ctx, x, root=0, width=1)
+        return value
+
+    if isinstance(stage, AllGatherStage):
+        if ctx.size & (ctx.size - 1) == 0:
+            value = yield from allgather_doubling(ctx, x, width=stage.width)
+        else:
+            value = yield from allgather_ring(ctx, x, width=stage.width)
+        return tuple(value)
+
+    if isinstance(stage, ScatterStage):
+        value = yield from scatter_binomial(ctx, x, width=stage.width)
+        return value
+
+    if isinstance(stage, GatherStage):
+        value = yield from gather_binomial(ctx, x, width=stage.width)
+        return UNDEF if value is UNDEF else tuple(value)
+
+    if isinstance(stage, ScanStage):
+        value = yield from scan_butterfly(ctx, x, stage.op)
+        return value
+
+    if isinstance(stage, ReduceStage):
+        value = yield from reduce_binomial(ctx, x, stage.op)
+        return value
+
+    if isinstance(stage, AllReduceStage):
+        value = yield from allreduce_butterfly(ctx, x, stage.op)
+        return value
+
+    if isinstance(stage, BalancedReduceStage):
+        if stage.to_all:
+            value = yield from allreduce_balanced_machine(ctx, x, stage.tree_op)
+        else:
+            value = yield from reduce_balanced_tree(ctx, x, stage.tree_op)
+        return value
+
+    if isinstance(stage, BalancedScanStage):
+        value = yield from scan_balanced_butterfly_entry(ctx, x, stage)
+        return value
+
+    if isinstance(stage, ComcastStage):
+        if stage.impl == "repeat":
+            value = yield from comcast_bcast_repeat(ctx, x, stage.comcast_op)
+        else:
+            value = yield from comcast_doubling(ctx, x, stage.comcast_op)
+        return value
+
+    if isinstance(stage, IterStage):
+        op = stage.iter_op
+        p = ctx.size
+        if ctx.rank == 0:
+            if stage.general or (p & (p - 1)):
+                steps = max(p - 1, 0).bit_length()
+                yield from ctx.compute(steps * op.op_count * m)
+                value = op.compute_general(p, x)
+            else:
+                steps = p.bit_length() - 1
+                yield from ctx.compute(steps * op.op_count * m)
+                value = op.compute(p, x)
+        else:
+            value = UNDEF
+        if stage.then_bcast:
+            value = yield from bcast_binomial(ctx, value, root=0, width=1)
+        return value
+
+    raise TypeError(f"no machine implementation for stage {stage!r}")
+
+
+def scan_balanced_butterfly_entry(ctx: RankContext, x: Any, stage: BalancedScanStage):
+    from repro.machine.collectives import scan_balanced_butterfly
+
+    value = yield from scan_balanced_butterfly(ctx, x, stage.bfly_op)
+    return value
+
+
+def simulate_program(
+    program: Program, inputs: Sequence[Any], params: MachineParams
+) -> SimResult:
+    """Simulate ``program`` on ``len(inputs)`` processors.
+
+    The number of processors is taken from ``inputs``; ``params.p`` is
+    ignored for placement but its ``ts``/``tw``/``m`` drive the timing.
+    """
+
+    def rank_fn(ctx: RankContext, x: Any):
+        for stage in program.stages:
+            x = yield from execute_stage(ctx, stage, x)
+        return x
+
+    return run_spmd(rank_fn, inputs, params)
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Per-stage timing of one simulated program run.
+
+    ``end`` is the maximum clock over all ranks when the last rank left
+    the stage; ``duration`` is the increase over the previous stage's
+    end.  Durations sum to the program makespan.
+    """
+
+    index: int
+    pretty: str
+    end: float
+    duration: float
+
+
+def stage_breakdown(
+    program: Program, inputs: Sequence[Any], params: MachineParams
+) -> tuple[SimResult, list[StageTiming]]:
+    """Simulate with per-stage probes; returns (result, stage timings)."""
+
+    def rank_fn(ctx: RankContext, x: Any):
+        for idx, stage in enumerate(program.stages):
+            x = yield from execute_stage(ctx, stage, x)
+            yield from ctx.probe(idx)
+        return x
+
+    result = run_spmd(rank_fn, inputs, params)
+    ends: dict[int, float] = {}
+    for _rank, tag, clock in result.stats.timeline:
+        ends[tag] = max(ends.get(tag, 0.0), clock)
+    timings: list[StageTiming] = []
+    prev = 0.0
+    for idx, stage in enumerate(program.stages):
+        end = ends.get(idx, prev)
+        timings.append(StageTiming(index=idx, pretty=stage.pretty(),
+                                   end=end, duration=end - prev))
+        prev = end
+    return result, timings

@@ -1,0 +1,90 @@
+"""Non-fully-connected link models: what the paper's assumption buys.
+
+The cost calculus assumes "a virtual, fully connected system in which
+each processor can communicate with any other processor at the same
+cost" (§4.1).  Real interconnects route: a message between distant ranks
+crosses several hops.  This module prices that, by scaling each link's
+per-word cost with the topology's hop distance:
+
+* :class:`RingParams`      — 1-D ring, cyclic distance;
+* :class:`MeshParams`      — 2-D mesh, Manhattan distance;
+* :class:`HypercubeParams` — binary hypercube, Hamming distance.
+
+On a hypercube every butterfly phase is a *single* hop (the XOR pattern
+matches the wiring — the historical reason for the algorithm), so the
+paper's estimates hold exactly; on rings and meshes the high butterfly
+phases pay long routes.  The ablation test quantifies the gap, i.e. how
+much of Table 1 survives on routed networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cost import MachineParams
+
+__all__ = ["RingParams", "MeshParams", "HypercubeParams"]
+
+
+@dataclass(frozen=True)
+class RingParams(MachineParams):
+    """1-D ring: messages travel the shorter cyclic arc.
+
+    ``tw`` is the per-word-per-hop cost; ``ts`` is charged once per
+    message (wormhole-style routing).
+    """
+
+    def hops(self, a: int, b: int) -> int:
+        """Cyclic distance between two ranks."""
+        d = abs(a - b) % self.p
+        return min(d, self.p - d)
+
+    def link(self, a: int, b: int) -> tuple[float, float]:
+        return (self.ts, self.tw * max(self.hops(a, b), 1))
+
+
+@dataclass(frozen=True)
+class MeshParams(MachineParams):
+    """2-D mesh (row-major layout): Manhattan-distance routing.
+
+    ``cols`` is the mesh width; ``p`` need not be square but must be a
+    multiple of ``cols``.
+    """
+
+    cols: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cols < 1 or self.p % self.cols:
+            raise ValueError("p must be a positive multiple of cols")
+
+    def hops(self, a: int, b: int) -> int:
+        """Manhattan distance on the mesh."""
+        ar, ac = divmod(a, self.cols)
+        br, bc = divmod(b, self.cols)
+        return abs(ar - br) + abs(ac - bc)
+
+    def link(self, a: int, b: int) -> tuple[float, float]:
+        return (self.ts, self.tw * max(self.hops(a, b), 1))
+
+
+@dataclass(frozen=True)
+class HypercubeParams(MachineParams):
+    """Binary hypercube: Hamming-distance routing; p must be 2^k.
+
+    Butterfly collectives only ever talk across single dimensions, so on
+    this topology they run at exactly the paper's fully-connected cost.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.p & (self.p - 1):
+            raise ValueError("hypercube needs a power-of-two machine")
+
+    def hops(self, a: int, b: int) -> int:
+        """Hamming distance between rank labels."""
+        return (a ^ b).bit_count()
+
+    def link(self, a: int, b: int) -> tuple[float, float]:
+        return (self.ts, self.tw * max(self.hops(a, b), 1))

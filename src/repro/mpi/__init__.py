@@ -1,0 +1,14 @@
+"""MPI-style programming interface over the simulated machine.
+
+The paper presents its programs in "slightly simplified MPI notation";
+this package provides the executable counterpart: an mpi4py-flavoured
+:class:`Comm` for writing SPMD rank programs directly, running on the
+same simulator (and therefore the same cost model) as the stage AST.
+"""
+
+from repro.mpi.comm import Comm, spmd_run
+from repro.mpi.groups import GroupContext, comm_split
+from repro.mpi.threaded import ThreadedComm, threaded_spmd_run
+
+__all__ = ["Comm", "spmd_run", "ThreadedComm", "threaded_spmd_run",
+           "comm_split", "GroupContext"]

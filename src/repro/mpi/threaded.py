@@ -1,0 +1,397 @@
+"""Blocking (thread-based) MPI facade: no ``yield from`` required.
+
+:func:`threaded_spmd_run` runs one OS thread per rank; the
+:class:`ThreadedComm` methods *block* like real mpi4py calls::
+
+    def program(comm, x):                 # a plain function!
+        y = comm.scan(x, op=ADD)
+        total = comm.reduce(y, op=ADD, root=0)
+        return comm.bcast(total if comm.rank == 0 else None)
+
+    result = threaded_spmd_run(program, inputs=[1, 2, 3, 4], params=params)
+
+Under the hood each blocking call drives the *same* generator-based
+collective algorithms as the cooperative simulator
+(:mod:`repro.machine.collectives`), executing every primitive action
+through a thread rendezvous engine that keeps the identical virtual
+clocks (``ts + words*tw`` per matched message, unit-cost ops).  The two
+front ends therefore agree on results *and* on simulated times — a fact
+the test suite checks.
+
+Deadlocks (mismatched protocols) are detected — when every live rank is
+blocked and no pending pair matches, all threads raise
+:class:`repro.machine.engine.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.cost import MachineParams
+from repro.core.operators import BinOp
+from repro.machine.collectives import (
+    allgather_ring,
+    alltoall_pairwise,
+    allreduce_butterfly,
+    bcast_binomial,
+    gather_binomial,
+    reduce_binomial,
+    scan_butterfly,
+    scatter_binomial,
+)
+from repro.machine.engine import DeadlockError, SimResult, SimStats
+from repro.machine.primitives import Compute, Probe, Recv, Send, SendRecv
+from repro.semantics.functional import UNDEF
+
+__all__ = ["ThreadedComm", "threaded_spmd_run", "simulate_program_threaded"]
+
+
+@dataclass
+class _RankSlot:
+    action: Any = None           # pending communication action
+    result: Any = None
+    event: threading.Event = field(default_factory=threading.Event)
+    clock: float = 0.0
+    waiting: bool = False
+    alive: bool = True
+    failed: bool = False
+
+
+class _Rendezvous:
+    """Thread-safe matcher implementing the paper's timing model."""
+
+    def __init__(self, size: int, params: MachineParams) -> None:
+        self.size = size
+        self.params = params
+        self.lock = threading.Lock()
+        self.slots = [_RankSlot() for _ in range(size)]
+        self.stats = SimStats()
+        self._domain_free: dict = {}
+
+    # -- matching ----------------------------------------------------------
+
+    def _comm_complete(self, r: int, q: int, words: float) -> float:
+        ts, tw = self.params.link(r, q)
+        keys = self.params.contention_domains(r, q)
+        start = max(self.slots[r].clock, self.slots[q].clock,
+                    *(self._domain_free.get(k, 0.0) for k in keys)) \
+            if keys else max(self.slots[r].clock, self.slots[q].clock)
+        t = start + ts + tw * words
+        for k in keys:
+            self._domain_free[k] = t
+        return t
+
+    def _try_match(self, rank: int) -> bool:
+        """Under the lock: match ``rank``'s pending action if possible."""
+        me = self.slots[rank]
+        act = me.action
+
+        if isinstance(act, SendRecv):
+            q = act.partner
+            other = self.slots[q]
+            if other.waiting and isinstance(other.action, SendRecv) \
+                    and other.action.partner == rank:
+                t = self._comm_complete(rank, q, max(act.words, other.action.words))
+                me.result, other.result = other.action.payload, act.payload
+                me.clock = other.clock = t
+                self.stats.messages += 2
+                self.stats.words += act.words + other.action.words
+                self._release(rank)
+                self._release(q)
+                return True
+        elif isinstance(act, Send):
+            q = act.dst
+            other = self.slots[q]
+            if other.waiting and isinstance(other.action, Recv) \
+                    and other.action.src == rank:
+                t = self._comm_complete(rank, q, act.words)
+                other.result, me.result = act.payload, None
+                me.clock = other.clock = t
+                self.stats.messages += 1
+                self.stats.words += act.words
+                self._release(rank)
+                self._release(q)
+                return True
+        elif isinstance(act, Recv):
+            q = act.src
+            other = self.slots[q]
+            if other.waiting and isinstance(other.action, Send) \
+                    and other.action.dst == rank:
+                t = self._comm_complete(rank, q, other.action.words)
+                me.result, other.result = other.action.payload, None
+                me.clock = other.clock = t
+                self.stats.messages += 1
+                self.stats.words += other.action.words
+                self._release(rank)
+                self._release(q)
+                return True
+        return False
+
+    def _release(self, rank: int) -> None:
+        slot = self.slots[rank]
+        slot.action = None
+        slot.waiting = False
+        slot.event.set()
+
+    def _deadlocked(self) -> bool:
+        """Under the lock: every live rank waiting and nothing matches."""
+        live = [s for s in self.slots if s.alive]
+        return bool(live) and all(s.waiting for s in live)
+
+    def _fail_all(self) -> None:
+        for slot in self.slots:
+            if slot.waiting:
+                slot.failed = True
+                slot.waiting = False
+                slot.action = None
+                slot.event.set()
+
+    # -- public API used by ThreadedComm ------------------------------------
+
+    def execute(self, rank: int, action: Any) -> Any:
+        """Perform one primitive action on behalf of ``rank`` (blocking)."""
+        slot = self.slots[rank]
+        if isinstance(action, Probe):
+            with self.lock:
+                self.stats.timeline.append((rank, action.tag, slot.clock))
+            return None
+        if isinstance(action, Compute):
+            if action.ops < 0:
+                raise ValueError("negative computation cost")
+            with self.lock:
+                slot.clock += action.ops
+                self.stats.compute_ops += action.ops
+            return None
+
+        with self.lock:
+            slot.action = action
+            slot.waiting = True
+            slot.event.clear()
+            matched = self._try_match(rank)
+            if not matched and self._deadlocked():
+                self._fail_all()
+        slot.event.wait()
+        if slot.failed:
+            raise DeadlockError(
+                f"rank {rank}: no progress possible (protocol mismatch)"
+            )
+        return slot.result
+
+    def finish(self, rank: int) -> None:
+        with self.lock:
+            self.slots[rank].alive = False
+            if self._deadlocked():
+                self._fail_all()
+
+
+class _ThreadContext:
+    """Duck-typed RankContext whose primitives block via the rendezvous.
+
+    The generator collectives only call ``send``/``recv``/``sendrecv``/
+    ``compute`` (as sub-generators) plus ``rank``/``size``/``params`` —
+    this class satisfies the same protocol while executing each yielded
+    action synchronously.
+    """
+
+    def __init__(self, rank: int, size: int, rdv: _Rendezvous) -> None:
+        self.rank = rank
+        self.size = size
+        self.params = rdv.params
+        self._rdv = rdv
+
+    def _run(self, action):
+        return self._rdv.execute(self.rank, action)
+
+    # generator-protocol shims (driven by _drive below)
+    def send(self, dst: int, payload: Any, words: float):
+        if not (0 <= dst < self.size) or dst == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid send destination {dst}")
+        yield Send(dst, payload, words)
+
+    def recv(self, src: int):
+        if not (0 <= src < self.size) or src == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid receive source {src}")
+        result = yield Recv(src)
+        return result
+
+    def sendrecv(self, partner: int, payload: Any, words: float):
+        if not (0 <= partner < self.size) or partner == self.rank:
+            raise ValueError(f"rank {self.rank}: invalid exchange partner {partner}")
+        result = yield SendRecv(partner, payload, words)
+        return result
+
+    def compute(self, ops: float):
+        yield Compute(ops)
+
+    def drive(self, gen) -> Any:
+        """Run a generator collective, executing each action blockingly."""
+        try:
+            action = next(gen)
+            while True:
+                result = self._run(action)
+                action = gen.send(result)
+        except StopIteration as stop:
+            return stop.value
+
+
+class ThreadedComm:
+    """Blocking mpi4py-style communicator for thread-per-rank programs."""
+
+    def __init__(self, ctx: _ThreadContext) -> None:
+        self._ctx = ctx
+
+    @property
+    def rank(self) -> int:
+        return self._ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.size
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, words: float | None = None) -> None:
+        """Blocking synchronous send (cost ``ts + words*tw``)."""
+        w = self._ctx.params.m if words is None else words
+        self._ctx.drive(self._ctx.send(dest, obj, w))
+
+    def recv(self, source: int) -> Any:
+        """Blocking receive; returns the payload."""
+        return self._ctx.drive(self._ctx.recv(source))
+
+    def sendrecv(self, obj: Any, dest: int, words: float | None = None) -> Any:
+        """Simultaneous exchange with ``dest``; returns its payload."""
+        w = self._ctx.params.m if words is None else words
+        return self._ctx.drive(self._ctx.sendrecv(dest, obj, w))
+
+    def compute(self, ops: float) -> None:
+        """Charge local computation time (for realistic local stages)."""
+        self._ctx.drive(self._ctx.compute(ops))
+
+    # -- collectives (reusing the simulator's algorithms) ----------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """MPI_Bcast: replicate the root's object to every rank."""
+        return self._ctx.drive(bcast_binomial(self._ctx, obj, root=root))
+
+    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+        """MPI_Scatter: deal the root's list out, one element per rank."""
+        if root != 0:
+            raise NotImplementedError("threaded scatter supports root=0")
+        return self._ctx.drive(scatter_binomial(self._ctx, sendobj))
+
+    def gather(self, sendobj: Any, root: int = 0) -> Any:
+        """MPI_Gather: rank-ordered list on the root; ``None`` elsewhere."""
+        if root != 0:
+            raise NotImplementedError("threaded gather supports root=0")
+        out = self._ctx.drive(gather_binomial(self._ctx, sendobj))
+        return None if out is UNDEF else out
+
+    def allgather(self, sendobj: Any) -> list:
+        """MPI_Allgather: the full rank-ordered list on every rank."""
+        return self._ctx.drive(allgather_ring(self._ctx, sendobj))
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> list:
+        """Personalized exchange: ``sendobjs[i]`` goes to rank ``i``."""
+        return self._ctx.drive(alltoall_pairwise(self._ctx, sendobjs))
+
+    def reduce(self, sendobj: Any, op: BinOp, root: int = 0) -> Any:
+        """MPI_Reduce: combined value on the root, ``None`` elsewhere."""
+        if root != 0:
+            raise NotImplementedError("threaded reduce supports root=0")
+        out = self._ctx.drive(reduce_binomial(self._ctx, sendobj, op))
+        return None if out is UNDEF else out
+
+    def allreduce(self, sendobj: Any, op: BinOp) -> Any:
+        """MPI_Allreduce: the ⊕-combination of all blocks, everywhere."""
+        return self._ctx.drive(allreduce_butterfly(self._ctx, sendobj, op))
+
+    def scan(self, sendobj: Any, op: BinOp) -> Any:
+        """MPI_Scan: inclusive prefix over ranks."""
+        return self._ctx.drive(scan_butterfly(self._ctx, sendobj, op))
+
+    def split(self, color: Any, key: int | None = None) -> "ThreadedComm | None":
+        """``MPI_Comm_split`` (blocking): a sub-communicator per color."""
+        from repro.mpi.groups import split_context
+
+        group_ctx = self._ctx.drive(split_context(self._ctx, color, key))
+        return None if group_ctx is None else ThreadedComm(group_ctx)
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self.allreduce(0, BinOp("barrier", lambda a, b: 0, commutative=True))
+
+
+def threaded_spmd_run(
+    program: Callable[[ThreadedComm, Any], Any],
+    inputs: Sequence[Any],
+    params: MachineParams | None = None,
+) -> SimResult:
+    """Run a *blocking* SPMD program, one thread per rank.
+
+    ``program(comm, x)`` is an ordinary function.  Returns the same
+    :class:`SimResult` as the cooperative engine (values, virtual time,
+    statistics).  Exceptions in any rank propagate to the caller.
+    """
+    p = len(inputs)
+    if p == 0:
+        raise ValueError("cannot run an empty machine")
+    if params is None:
+        params = MachineParams(p=p, ts=0.0, tw=0.0, m=1)
+
+    rdv = _Rendezvous(p, params)
+    results: list[Any] = [None] * p
+    errors: list[BaseException | None] = [None] * p
+
+    def runner(rank: int) -> None:
+        ctx = _ThreadContext(rank, p, rdv)
+        try:
+            results[rank] = program(ThreadedComm(ctx), inputs[rank])
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+        finally:
+            rdv.finish(rank)
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(p)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # surface root causes before secondary deadlocks (a rank that died
+    # with a user exception makes its partners' waits fail too)
+    real = [e for e in errors if e is not None and not isinstance(e, DeadlockError)]
+    dead = [e for e in errors if isinstance(e, DeadlockError)]
+    if real:
+        raise real[0]
+    if dead:
+        raise dead[0]
+
+    rdv.stats.clocks = tuple(slot.clock for slot in rdv.slots)
+    return SimResult(values=tuple(results), time=rdv.stats.makespan,
+                     stats=rdv.stats)
+
+
+def simulate_program_threaded(program, inputs, params=None) -> SimResult:
+    """Run a stage :class:`~repro.core.stages.Program` on the threaded engine.
+
+    The blocking counterpart of :func:`repro.machine.run.simulate_program`:
+    every rank executes the same per-stage collective algorithms, driven
+    through the thread rendezvous.  Results and virtual times match the
+    cooperative engine (property-tested).
+    """
+    from repro.machine.run import execute_stage
+
+    if params is None:
+        params = MachineParams(p=len(inputs), ts=0.0, tw=0.0, m=1)
+
+    def rank_program(comm: ThreadedComm, x: Any) -> Any:
+        ctx = comm._ctx
+        for stage in program.stages:
+            x = ctx.drive(execute_stage(ctx, stage, x))
+        return x
+
+    return threaded_spmd_run(rank_program, inputs, params)

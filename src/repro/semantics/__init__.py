@@ -1,0 +1,1 @@
+"""Reference functional semantics (the executable counterpart of the proofs)."""

@@ -1,0 +1,94 @@
+"""Shared test utilities: operator zoo, strategies, comparison helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from hypothesis import strategies as st
+
+from repro.core.operators import (
+    ADD,
+    BinOp,
+    CONCAT,
+    MATADD2,
+    MATMUL2,
+    MAX,
+    MIN,
+    MUL,
+    mod_add,
+    mod_mul,
+)
+from repro.semantics.functional import UNDEF
+
+
+def defined_pairs_equal(xs, ys) -> bool:
+    """Positional equality ignoring UNDEF on either side."""
+    if len(xs) != len(ys):
+        return False
+    return all(
+        a is UNDEF or b is UNDEF or a == b for a, b in zip(xs, ys)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operator/value domains for property tests
+# ---------------------------------------------------------------------------
+
+#: multiset union over canonical sorted tuples — the *free* commutative
+#: monoid: a law that holds here holds in every commutative monoid, so this
+#: domain makes the commutativity-rule property tests maximally general.
+MSET_UNION = BinOp("mset_union", lambda a, b: tuple(sorted(a + b)),
+                   commutative=True, identity=(), has_identity=True)
+MSETS = st.lists(st.integers(0, 3), max_size=3).map(lambda xs: tuple(sorted(xs)))
+
+#: (operator, hypothesis element strategy) — commutative operators.
+COMMUTATIVE_DOMAINS: list[tuple[BinOp, st.SearchStrategy]] = [
+    (ADD, st.integers(-100, 100)),
+    (MUL, st.integers(-5, 5)),
+    (MAX, st.integers(-1000, 1000)),
+    (MIN, st.integers(-1000, 1000)),
+    (mod_add(97), st.integers(0, 96)),
+    (mod_mul(97), st.integers(0, 96)),
+    (MSET_UNION, MSETS),
+]
+
+_mat_entry = st.integers(-3, 3)
+MATRICES = st.tuples(
+    st.tuples(_mat_entry, _mat_entry), st.tuples(_mat_entry, _mat_entry)
+)
+
+#: Associative but non-commutative domains.
+NONCOMMUTATIVE_DOMAINS: list[tuple[BinOp, st.SearchStrategy]] = [
+    (CONCAT, st.text(alphabet="abc", min_size=0, max_size=3)),
+    (MATMUL2, MATRICES),
+]
+
+#: (otimes, oplus, strategy) with otimes distributing over oplus.
+DISTRIBUTIVE_DOMAINS: list[tuple[BinOp, BinOp, st.SearchStrategy]] = [
+    (MUL, ADD, st.integers(-5, 5)),
+    (ADD, MAX, st.integers(-50, 50)),
+    (ADD, MIN, st.integers(-50, 50)),
+    (MATMUL2, MATADD2, MATRICES),
+]
+
+#: small machine sizes incl. non-powers-of-two
+SIZES = st.integers(min_value=1, max_value=17)
+POW2_SIZES = st.sampled_from([1, 2, 4, 8, 16, 32])
+
+
+def int_gen(rng: random.Random) -> int:
+    return rng.randint(-50, 50)
+
+
+def small_int_gen(rng: random.Random) -> int:
+    return rng.randint(-4, 4)
+
+
+def str_gen(rng: random.Random) -> str:
+    return "".join(rng.choice("xyz") for _ in range(rng.randint(0, 3)))
+
+
+def mat_gen(rng: random.Random):
+    e = lambda: rng.randint(-3, 3)
+    return ((e(), e()), (e(), e()))

@@ -1,0 +1,78 @@
+"""Direct tests of the alltoall collective (pairwise + ring schedules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import MachineParams
+from repro.machine.collectives import alltoall_pairwise
+from repro.machine.engine import run_spmd
+
+PARAMS = MachineParams(p=8, ts=50.0, tw=1.0, m=4)
+
+
+def run_alltoall(p: int, params=PARAMS):
+    def prog(ctx, x):
+        blocks = [f"{ctx.rank}->{dst}" for dst in range(ctx.size)]
+        out = yield from alltoall_pairwise(ctx, blocks)
+        return out
+
+    return run_spmd(prog, [None] * p, params)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_personalized_delivery(self, p):
+        res = run_alltoall(p)
+        for rank, received in enumerate(res.values):
+            assert received == [f"{src}->{rank}" for src in range(p)]
+
+    def test_wrong_block_count_rejected(self):
+        def prog(ctx, x):
+            out = yield from alltoall_pairwise(ctx, [1, 2, 3])  # p=2!
+            return out
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, [None, None], PARAMS)
+
+    def test_self_block_kept(self):
+        res = run_alltoall(4)
+        assert res.values[2][2] == "2->2"
+
+    @given(p=st.integers(1, 12), seed=st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_property(self, p, seed):
+        """alltoall is a matrix transpose of the send blocks."""
+        import random
+
+        rng = random.Random(seed)
+        matrix = [[rng.randint(0, 999) for _ in range(p)] for _ in range(p)]
+
+        def prog(ctx, x):
+            out = yield from alltoall_pairwise(ctx, matrix[ctx.rank])
+            return out
+
+        res = run_spmd(prog, [None] * p, PARAMS)
+        for r in range(p):
+            assert list(res.values[r]) == [matrix[src][r] for src in range(p)]
+
+
+class TestTiming:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_pairwise_rounds_pow2(self, p):
+        """p-1 bidirectional exchange rounds of m words each."""
+        res = run_alltoall(p)
+        expect = (p - 1) * (PARAMS.ts + PARAMS.m * PARAMS.tw)
+        assert res.time == pytest.approx(expect)
+
+    def test_nonpow2_completes_reasonably(self):
+        res = run_alltoall(6)
+        # ring schedule: no better than p-1 exchange rounds
+        assert res.time >= 5 * (PARAMS.ts + PARAMS.m * PARAMS.tw) - 1e-9
+
+    def test_message_volume(self):
+        p = 8
+        res = run_alltoall(p)
+        # every ordered pair exchanges one m-word block
+        assert res.stats.words == pytest.approx(p * (p - 1) * PARAMS.m)

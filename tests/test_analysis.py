@@ -1,0 +1,130 @@
+"""Analysis layer: Table 1 rendering, regions, advice, catalogue."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    improving_rules,
+    m_threshold,
+    machine_advice,
+    region_grid,
+    render_table1,
+    render_table1_numeric,
+    rule_catalogue,
+    table1_rows,
+    ts_threshold,
+)
+from repro.core.cost import LOW_LATENCY, MachineParams, PARSYTEC_LIKE
+from repro.core.rules import ALL_RULES, rule_by_name
+
+
+class TestTable1Rendering:
+    def test_rows_in_paper_order(self):
+        rows = table1_rows()
+        assert [r.name for r in rows] == [
+            "SR2-Reduction", "SR-Reduction", "SS2-Scan", "SS-Scan",
+            "BS-Comcast", "BSS2-Comcast", "BSS-Comcast",
+            "BR-Local", "BSR2-Local", "BSR-Local",
+        ]
+
+    def test_extension_row(self):
+        rows = table1_rows(include_extensions=True)
+        assert rows[-1].name == "CR-Alllocal"
+
+    def test_symbolic_render_matches_paper_cells(self):
+        text = render_table1()
+        # spot checks straight against the paper's table
+        assert "2ts + m*(2tw + 3)" in text
+        assert "ts + m*(2tw + 6)" in text     # SS2-Scan after
+        assert "ts + m*(3tw + 8)" in text     # SS-Scan after
+        assert "ts > 2m" in text
+        assert "always" in text
+        assert "tw + ts/m > 2" in text
+
+    def test_numeric_render(self):
+        text = render_table1_numeric(PARSYTEC_LIKE)
+        assert "SR2-Reduction" in text and "yes" in text
+        # SS2-Scan should NOT improve at ts=600, m=1024 (needs ts > 2m)
+        ss2_line = [l for l in text.splitlines() if l.startswith("SS2-Scan")][0]
+        assert ss2_line.rstrip().endswith("no")
+
+
+class TestThresholds:
+    def test_sr_reduction_ts_threshold_is_m(self):
+        rule = rule_by_name("SR-Reduction")
+        # margin: ts - m > 0 (independent of tw)
+        assert ts_threshold(rule, tw=2.0, m=100) == pytest.approx(100)
+        assert ts_threshold(rule, tw=9.0, m=100) == pytest.approx(100)
+
+    def test_ss2_ts_threshold_is_2m(self):
+        rule = rule_by_name("SS2-Scan")
+        assert ts_threshold(rule, tw=1.0, m=50) == pytest.approx(100)
+
+    def test_ss_ts_threshold_is_m_times_tw_plus_4(self):
+        rule = rule_by_name("SS-Scan")
+        assert ts_threshold(rule, tw=3.0, m=10) == pytest.approx(70)
+
+    def test_always_rules_have_zero_threshold(self):
+        for name in ("SR2-Reduction", "BS-Comcast", "BR-Local", "BSR2-Local"):
+            assert ts_threshold(rule_by_name(name), tw=1.0, m=100) == 0.0
+
+    def test_bss_threshold_infinite_when_tw_large(self):
+        # BSS-Comcast margin: 2ts + m(2tw - 4) — at tw>2 it always improves
+        rule = rule_by_name("BSS-Comcast")
+        assert ts_threshold(rule, tw=3.0, m=100) == 0.0
+        # at tw=0 it needs ts > 2m
+        assert ts_threshold(rule, tw=0.0, m=100) == pytest.approx(200)
+
+    def test_m_threshold_sr(self):
+        # SR-Reduction wins for m < ts
+        rule = rule_by_name("SR-Reduction")
+        assert m_threshold(rule, ts=500, tw=1.0) == pytest.approx(500)
+
+    def test_m_threshold_infinite_for_always_rules(self):
+        assert math.isinf(m_threshold(rule_by_name("BS-Comcast"), ts=10, tw=1))
+
+
+class TestImprovingRules:
+    def test_parsytec_set(self):
+        names = {r.name for r in improving_rules(PARSYTEC_LIKE)}
+        assert "SR2-Reduction" in names
+        assert "BS-Comcast" in names
+        assert "SS2-Scan" not in names  # ts=600 < 2m=2048
+        assert "SS-Scan" not in names
+
+    def test_high_latency_enables_everything(self):
+        params = MachineParams(p=64, ts=100_000, tw=5, m=64)
+        assert len(improving_rules(params)) == len(ALL_RULES)
+
+    def test_region_grid_monotone_in_ts(self):
+        rule = rule_by_name("SS2-Scan")
+        grid = region_grid(rule, ts_values=[10, 1000, 100000], m_values=[64], tw=1.0)
+        col = [row[0] for row in grid]
+        assert col == sorted(col)  # once winning, stays winning as ts grows
+
+
+class TestReports:
+    def test_catalogue_mentions_every_rule(self):
+        text = rule_catalogue()
+        for rule in ALL_RULES:
+            assert rule.name in text
+        assert "map pair" in text
+        assert "iter (op_br)" in text
+
+    def test_catalogue_flags_lossy_and_pow2(self):
+        text = rule_catalogue()
+        assert "destroys non-root blocks" in text
+        assert "power of two" in text
+
+    def test_machine_advice_contains_thresholds(self):
+        text = machine_advice(PARSYTEC_LIKE)
+        assert "APPLY  SR2-Reduction" in text
+        assert "skip   SS2-Scan" in text
+        assert "ts > 2048.0" in text
+
+    def test_machine_advice_low_latency(self):
+        text = machine_advice(LOW_LATENCY.with_(ts=0.5, tw=0.0, m=4096))
+        assert "skip   SR-Reduction" in text

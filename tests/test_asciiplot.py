@@ -1,0 +1,52 @@
+"""ASCII chart renderer tests (analysis.asciiplot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.asciiplot import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, width=20, height=5)
+        assert "legend: * s" in out
+        assert "|" in out and "+" in out
+
+    def test_title_and_labels(self):
+        out = line_chart([0, 1], {"a": [0, 1]}, title="T", x_label="xx",
+                         y_label="yy", width=20, height=5)
+        assert out.splitlines()[0] == "T"
+        assert "[y: yy]" in out
+        assert "xx" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart([0, 1], {"a": [0, 1], "b": [1, 0]}, width=20, height=5)
+        assert "* a" in out and "o b" in out
+
+    def test_monotone_series_renders_monotone(self):
+        xs = list(range(10))
+        out = line_chart(xs, {"up": [float(v) for v in xs]}, width=40, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        cols = [r.index("*") for r in rows if "*" in r]
+        # higher rows (printed first) contain later (larger-x) points
+        assert cols == sorted(cols, reverse=True)
+
+    def test_constant_series_no_crash(self):
+        out = line_chart([1, 2], {"c": [5.0, 5.0]}, width=20, height=5)
+        assert "*" in out
+
+    def test_axis_extents_labelled(self):
+        out = line_chart([10, 90], {"s": [100.0, 400.0]}, width=30, height=6)
+        assert "100" in out and "400" in out
+        assert "10" in out and "90" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1, 2]})
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1]}, width=4, height=2)

@@ -1,0 +1,163 @@
+"""Balanced reduction and scan — including the paper's exact Figures 4 & 5."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.derived_ops import SRTreeOp, SSButterflyOp
+from repro.core.operators import ADD, MUL
+from repro.semantics.balanced import (
+    allreduce_balanced,
+    balanced_tree_levels,
+    butterfly_distances,
+    reduce_balanced,
+    scan_balanced,
+)
+from repro.semantics.functional import UNDEF, pair, quadruple, reduce_fn, scan_fn
+
+#: the input used in paper Figures 4 and 5
+FIG_INPUT = [2, 5, 9, 1, 2, 6]
+
+
+class TestTreeStructure:
+    def test_single_leaf(self):
+        assert balanced_tree_levels(1) == [[(0,)]]
+
+    def test_two_leaves(self):
+        assert balanced_tree_levels(2) == [[(0,), (1,)], [(0, 1)]]
+
+    def test_six_leaves_matches_figure_4_shape(self):
+        levels = balanced_tree_levels(6)
+        # level 1: (0,1) (2,3) (4,5); level 2: lone (0,1), then (2,3,4,5)
+        assert levels[1] == [(0, 1), (2, 3), (4, 5)]
+        assert levels[2] == [(0, 1), (2, 3, 4, 5)]
+        assert levels[3] == [(0, 1, 2, 3, 4, 5)]
+
+    @given(st.integers(1, 200))
+    def test_root_covers_all_leaves_in_order(self, n):
+        levels = balanced_tree_levels(n)
+        assert levels[-1] == [tuple(range(n))]
+
+    @given(st.integers(2, 200))
+    def test_right_subtrees_complete(self, n):
+        # every pairing's right node must cover a power-of-two leaf count
+        levels = balanced_tree_levels(n)
+        for prev, cur in zip(levels, levels[1:]):
+            nodes = list(prev)
+            if len(nodes) % 2 == 1:
+                nodes = nodes[1:]
+            for i in range(0, len(nodes), 2):
+                right = nodes[i + 1]
+                assert len(right) & (len(right) - 1) == 0
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_tree_levels(0)
+
+
+class TestFigure4:
+    """Exact node states of the paper's balanced reduction example."""
+
+    def test_node_values(self):
+        trace: list[list] = []
+        xs = [pair(x) for x in FIG_INPUT]
+        out = reduce_balanced(SRTreeOp(ADD), xs, trace=trace)
+        assert trace[0] == [(2, 2), (5, 5), (9, 9), (1, 1), (2, 2), (6, 6)]
+        assert trace[1] == [(9, 14), (19, 20), (10, 16)]
+        assert trace[2] == [(9, 28), (49, 72)]
+        assert trace[3] == [(86, 200)]
+        assert out[0] == (86, 200)
+
+    def test_root_is_scan_then_reduce(self):
+        xs = [pair(x) for x in FIG_INPUT]
+        out = reduce_balanced(SRTreeOp(ADD), xs)
+        expected = reduce_fn(ADD, scan_fn(ADD, FIG_INPUT))[0]
+        assert out[0][0] == expected == 86
+
+    def test_nonroot_undefined(self):
+        xs = [pair(x) for x in FIG_INPUT]
+        out = reduce_balanced(SRTreeOp(ADD), xs)
+        assert all(v is UNDEF for v in out[1:])
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=33))
+    @settings(max_examples=60)
+    def test_matches_scan_reduce_any_size(self, values):
+        xs = [pair(x) for x in values]
+        got = reduce_balanced(SRTreeOp(ADD), xs)[0][0]
+        want = reduce_fn(ADD, scan_fn(ADD, values))[0]
+        assert got == want
+
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_matches_scan_reduce_mul(self, values):
+        xs = [pair(x) for x in values]
+        got = reduce_balanced(SRTreeOp(MUL), xs)[0][0]
+        want = reduce_fn(MUL, scan_fn(MUL, values))[0]
+        assert got == want
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_allreduce_balanced_everywhere(self, values):
+        xs = [pair(x) for x in values]
+        out = allreduce_balanced(SRTreeOp(ADD), xs)
+        want = reduce_fn(ADD, scan_fn(ADD, values))[0]
+        assert all(v[0] == want for v in out)
+
+
+class TestButterflyDistances:
+    def test_values(self):
+        assert butterfly_distances(1) == []
+        assert butterfly_distances(2) == [1]
+        assert butterfly_distances(6) == [1, 2, 4]
+        assert butterfly_distances(8) == [1, 2, 4]
+        assert butterfly_distances(9) == [1, 2, 4, 8]
+
+
+class TestFigure5:
+    """Exact butterfly states of the paper's balanced scan example."""
+
+    def test_stage_values(self):
+        trace: list[list] = []
+        xs = [quadruple(x) for x in FIG_INPUT]
+        out = scan_balanced(SSButterflyOp(ADD), xs, trace=trace)
+        assert trace[0][0] == (2, 2, 2, 2)
+        # after distance-1 exchange
+        assert trace[1][0] == (2, 9, 14, 7)
+        assert trace[1][1] == (9, 9, 14, 14)
+        assert trace[1][2] == (9, 19, 20, 10)
+        assert trace[1][3] == (19, 19, 20, 20)
+        assert trace[1][4] == (2, 10, 16, 8)
+        assert trace[1][5] == (10, 10, 16, 16)
+        # after distance-2 (ranks 4,5 have no partner -> (s,_,_,_))
+        assert trace[2][0] == (2, 42, 68, 17)
+        assert trace[2][1] == (9, 42, 68, 34)
+        assert trace[2][2] == (25, 42, 68, 51)
+        assert trace[2][3] == (42, 42, 68, 68)
+        assert trace[2][4][0] == 2 and trace[2][4][1] is UNDEF
+        assert trace[2][5][0] == 10 and trace[2][5][1] is UNDEF
+        # final s components = scan;scan of the input
+        assert [s[0] for s in trace[3]] == [2, 9, 25, 42, 61, 86]
+        assert [s[0] for s in out] == [2, 9, 25, 42, 61, 86]
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=33))
+    @settings(max_examples=60)
+    def test_matches_double_scan_any_size(self, values):
+        xs = [quadruple(x) for x in values]
+        out = scan_balanced(SSButterflyOp(ADD), xs)
+        want = scan_fn(ADD, scan_fn(ADD, values))
+        assert [s[0] for s in out] == want
+
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_matches_double_scan_mul(self, values):
+        xs = [quadruple(x) for x in values]
+        out = scan_balanced(SSButterflyOp(MUL), xs)
+        want = scan_fn(MUL, scan_fn(MUL, values))
+        assert [s[0] for s in out] == want
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scan_balanced(SSButterflyOp(ADD), [])
+        with pytest.raises(ValueError):
+            reduce_balanced(SRTreeOp(ADD), [])

@@ -1,0 +1,172 @@
+"""Builder API, equivalence checker, and symbolic program costs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import ProgramBuilder, program
+from repro.core.cost import (
+    MachineParams,
+    SymbolicCost,
+    program_cost,
+    program_formula,
+    stage_formula,
+)
+from repro.core.operators import ADD, CONCAT, MUL
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.rules import rule_by_name
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.semantics.equivalence import (
+    Counterexample,
+    check_rule_on_domain,
+    random_equivalence_check,
+)
+
+
+class TestBuilder:
+    def test_builds_example_shape(self):
+        prog = (program("Example")
+                .map(lambda x: 2 * x, label="f", ops=1)
+                .scan(MUL)
+                .reduce(ADD)
+                .map(lambda u: u + 1, label="g", ops=1)
+                .bcast()
+                .build())
+        assert [type(s) for s in prog.stages] == [
+            MapStage, ScanStage, ReduceStage, MapStage, BcastStage,
+        ]
+        assert prog.name == "Example"
+        assert prog.run([1, 2, 3, 4]) == [443, 443, 443, 443]
+
+    def test_map_variants(self):
+        prog = (program()
+                .map_indexed(lambda k, x: x * k, label="scale")
+                .map2(lambda x, y: x + y, other=(10, 20, 30))
+                .build())
+        assert prog.run([5, 5, 5]) == [10, 25, 40]
+
+    def test_allreduce(self):
+        prog = program().allreduce(ADD).build()
+        assert isinstance(prog.stages[0], AllReduceStage)
+
+    def test_operator_type_checked(self):
+        with pytest.raises(TypeError):
+            program().scan(lambda a, b: a + b)
+
+    def test_single_use(self):
+        b = program().bcast()
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_builder_is_chainable(self):
+        b = ProgramBuilder()
+        assert b.bcast() is b
+
+
+class TestEquivalenceChecker:
+    def test_identical_programs_pass(self):
+        a = program().scan(ADD).build()
+        b = program().scan(ADD).build()
+        assert random_equivalence_check(a, b, lambda r: r.randint(-9, 9)) is None
+
+    def test_counterexample_found_and_described(self):
+        a = program().scan(ADD).build()
+        b = program().scan(MUL).build()
+        ce = random_equivalence_check(a, b, lambda r: r.randint(2, 9))
+        assert isinstance(ce, Counterexample)
+        assert "inputs" in ce.describe()
+        # the counterexample really distinguishes them
+        assert list(a.run(list(ce.inputs))) == list(ce.output_a)
+        assert list(ce.output_a) != list(ce.output_b)
+
+    def test_equivalence_modulo_undefined(self):
+        a = program().reduce(ADD).build()
+        b = Program([ReduceStage(ADD), MapStage(lambda x: x)])
+        assert random_equivalence_check(a, b, lambda r: r.randint(-5, 5)) is None
+
+    def test_check_rule_on_new_domain(self):
+        """Validate SR-Reduction against a user-defined operator domain."""
+        rule = rule_by_name("SR-Reduction")
+        lhs = program().scan(ADD).reduce(ADD).build()
+        assert check_rule_on_domain(rule, lhs, lambda r: r.randint(-99, 99)) is None
+
+    def test_check_rule_rejects_nonmatching(self):
+        rule = rule_by_name("SR-Reduction")
+        lhs = program().scan(CONCAT).reduce(CONCAT).build()  # not commutative
+        with pytest.raises(ValueError):
+            check_rule_on_domain(rule, lhs, lambda r: "x")
+
+    def test_broken_rewrite_caught(self):
+        """A deliberately wrong hand rewrite is detected."""
+        lhs = program().scan(ADD).reduce(ADD).build()
+        wrong = program().reduce(ADD).build()  # forgot the scan weighting
+        ce = random_equivalence_check(lhs, wrong, lambda r: r.randint(1, 9),
+                                      sizes=(3, 4, 5))
+        assert ce is not None
+
+
+class TestSymbolicCosts:
+    def test_example_formula(self):
+        from repro.apps import build_example
+
+        f = program_formula(build_example())
+        assert f.pretty() == "log p * (3ts + m*(3tw + 3)) + 2m"
+
+    @given(
+        p=st.sampled_from([2, 4, 8, 16, 64]),
+        ts=st.floats(0, 5000),
+        tw=st.floats(0, 16),
+        m=st.integers(1, 4096),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_formula_evaluates_to_program_cost(self, p, ts, tw, m):
+        from repro.apps import build_example
+
+        params = MachineParams(p=p, ts=ts, tw=tw, m=m)
+        prog = build_example()
+        assert program_formula(prog).evaluate(params) == pytest.approx(
+            program_cost(prog, params))
+
+    def test_formula_for_rewritten_program(self):
+        prog = program().scan(MUL).reduce(ADD).build()
+        (match,) = find_matches(prog, p=8)
+        rewritten, _ = apply_match(prog, match, p=8)
+        f = program_formula(rewritten)
+        assert f.pretty() == "log p * (ts + m*(2tw + 3))"  # Table 1's SR2 row
+
+    def test_formula_arithmetic(self):
+        a = program_formula(program().bcast().build())
+        b = program_formula(program().scan(ADD).build())
+        total = a + b
+        params = MachineParams(p=8, ts=10, tw=1, m=4)
+        assert total.evaluate(params) == pytest.approx(
+            a.evaluate(params) + b.evaluate(params))
+        diff = total - a
+        assert diff.evaluate(params) == pytest.approx(b.evaluate(params))
+
+    def test_iter_stage_formula(self):
+        from repro.core.derived_ops import br_iter_op
+        from repro.core.stages import IterStage
+
+        f = stage_formula(IterStage(br_iter_op(ADD)))
+        assert f.pretty() == "log p * (m*(1))"
+        f2 = stage_formula(IterStage(br_iter_op(ADD), then_bcast=True))
+        assert f2.pretty() == "log p * (ts + m*(tw + 1))"
+
+    def test_unknown_stage_rejected(self):
+        class Odd:
+            pass
+
+        with pytest.raises(TypeError):
+            stage_formula(Odd())

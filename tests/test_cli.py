@@ -1,0 +1,208 @@
+"""CLI tests (repro.cli) — every subcommand, against captured stdout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, default_env, main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+EXAMPLE_SRC = """\
+Program Example (x: input, v: output);
+y = f ( x );
+MPI_Scan (y, z, op1);
+MPI_Reduce (z, u, op2);
+v = g ( u );
+MPI_Bcast (v);
+"""
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.mpi"
+    path.write_text(EXAMPLE_SRC)
+    return str(path)
+
+
+class TestOptimizeCommand:
+    def test_optimizes_example(self, capsys, example_file):
+        code, out = run_cli(capsys, "optimize", example_file, "--p", "16")
+        assert code == 0
+        assert "SR2-Reduction" in out
+        assert "speedup" in out
+        assert "optimized program:" in out
+        assert "MPI_Reduce (z, u, op_sr2" in out
+
+    def test_machine_parameters_respected(self, capsys, example_file):
+        # absurdly cheap start-up: no conditional rule fires, SR2 still does
+        code, out = run_cli(capsys, "optimize", example_file,
+                            "--p", "8", "--ts", "0.1", "--tw", "0.1", "--m", "4096")
+        assert code == 0
+        assert "SR2-Reduction" in out  # "always" rule
+
+    def test_extensions_flag(self, capsys, tmp_path):
+        src = "Program P (x);\nMPI_Reduce (x, y, add);\nMPI_Bcast (y);\n"
+        f = tmp_path / "p.mpi"
+        f.write_text(src)
+        code, out = run_cli(capsys, "optimize", str(f), "--extensions")
+        assert code == 0
+        assert "RB-Allreduce" in out
+        code, out = run_cli(capsys, "optimize", str(f))
+        assert code == 0
+        assert "RB-Allreduce" not in out
+
+    def test_greedy_strategy(self, capsys, example_file):
+        code, out = run_cli(capsys, "optimize", example_file,
+                            "--strategy", "greedy")
+        assert code == 0 and "SR2-Reduction" in out
+
+    def test_parse_error_reported(self, capsys, tmp_path):
+        f = tmp_path / "bad.mpi"
+        f.write_text("this is not a program")
+        code = main(["optimize", str(f)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+
+    def test_missing_file(self, capsys):
+        code = main(["optimize", "/no/such/file.mpi"])
+        assert code == 1
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(EXAMPLE_SRC))
+        code, out = run_cli(capsys, "optimize", "-")
+        assert code == 0 and "SR2-Reduction" in out
+
+    def test_modulus_env(self, capsys, tmp_path):
+        src = "Program P (x);\nMPI_Scan (x, y, modadd);\n"
+        f = tmp_path / "p.mpi"
+        f.write_text(src)
+        code, _ = run_cli(capsys, "optimize", str(f), "--modulus", "97")
+        assert code == 0
+        code = main(["optimize", str(f)])  # without modulus: unknown op
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_table1_symbolic(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "2ts + m*(2tw + 3)" in out
+        assert "CR-Alllocal" not in out
+
+    def test_table1_with_extensions(self, capsys):
+        code, out = run_cli(capsys, "table1", "--extensions")
+        assert "CR-Alllocal" in out
+
+    def test_table1_numeric(self, capsys):
+        code, out = run_cli(capsys, "table1", "--numeric", "--ts", "100")
+        assert code == 0 and "margin" in out
+
+    def test_advice(self, capsys):
+        code, out = run_cli(capsys, "advice", "--ts", "600", "--m", "1024")
+        assert code == 0
+        assert "APPLY  SR2-Reduction" in out
+        assert "skip   SS2-Scan" in out
+
+    def test_catalogue(self, capsys):
+        code, out = run_cli(capsys, "catalogue")
+        assert code == 0
+        for name in ("SR2-Reduction", "SS-Scan", "BR-Local", "CR-Alllocal"):
+            assert name in out
+
+    def test_figures(self, capsys):
+        code, out = run_cli(capsys, "figures", "--p", "16")
+        assert code == 0
+        assert "Figure 7" in out and "Figure 8" in out
+        assert "legend:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestDefaultEnv:
+    def test_contains_paper_names(self):
+        env = default_env()
+        assert env["op1"].name == "mul" and env["op2"].name == "add"
+        assert callable(env["f"][0])
+
+    def test_modulus_ops(self):
+        env = default_env(7)
+        assert env["modadd"](5, 4) == 2
+        assert env["modmul"](3, 5) == 1
+
+
+class TestBreakdownCommand:
+    def test_breakdown_table(self, capsys, example_file):
+        code, out = run_cli(capsys, "breakdown", example_file, "--p", "8")
+        assert code == 0
+        assert "cumulative" in out
+        assert "scan (mul)" in out
+        assert "total simulated time" in out
+
+    def test_breakdown_bad_file(self, capsys):
+        assert main(["breakdown", "/no/such/file"]) == 1
+
+
+class TestReportCommand:
+    def test_report_stdout(self, capsys, example_file):
+        code, out = run_cli(capsys, "report", example_file, "--p", "8")
+        assert code == 0
+        assert out.startswith("# Optimization report")
+        assert "Simulated per-stage timing" in out
+
+    def test_report_to_file(self, capsys, tmp_path, example_file):
+        target = tmp_path / "report.md"
+        code, out = run_cli(capsys, "report", example_file, "-o", str(target))
+        assert code == 0
+        assert "wrote" in out
+        assert target.read_text().startswith("# Optimization report")
+
+    def test_report_with_extensions(self, capsys, tmp_path):
+        src = "Program P (x);\nMPI_Reduce (x, y, add);\nMPI_Bcast (y);\n"
+        f = tmp_path / "p.mpi"
+        f.write_text(src)
+        code, out = run_cli(capsys, "report", str(f), "--extensions")
+        assert code == 0 and "RB-Allreduce" in out
+
+    def test_report_bad_file(self, capsys):
+        assert main(["report", "/no/such/file"]) == 1
+
+
+class TestCodegenCommand:
+    def test_codegen_stdout(self, capsys, tmp_path):
+        src = "Program P (x);\nMPI_Bcast (x);\nMPI_Scan (x, y, add);\n"
+        f = tmp_path / "p.mpi"
+        f.write_text(src)
+        code, out = run_cli(capsys, "codegen", str(f), "--p", "8")
+        assert code == 0
+        assert "from mpi4py import MPI" in out
+        # BS-Comcast fused bcast;scan into the repeat digit loop
+        assert "while _k:" in out
+        compile(out, "<cli-gen>", "exec")
+
+    def test_codegen_no_optimize(self, capsys, tmp_path):
+        src = "Program P (x);\nMPI_Bcast (x);\nMPI_Scan (x, y, add);\n"
+        f = tmp_path / "p.mpi"
+        f.write_text(src)
+        code, out = run_cli(capsys, "codegen", str(f), "--no-optimize")
+        assert code == 0
+        assert "comm.scan" in out and "while _k:" not in out
+
+    def test_codegen_to_file(self, capsys, tmp_path, example_file):
+        target = tmp_path / "gen.py"
+        code, out = run_cli(capsys, "codegen", example_file, "-o", str(target))
+        assert code == 0 and target.exists()
+        compile(target.read_text(), str(target), "exec")
+
+    def test_codegen_bad_file(self, capsys):
+        assert main(["codegen", "/no/such/file"]) == 1

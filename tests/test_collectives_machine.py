@@ -1,0 +1,278 @@
+"""Machine collectives vs. reference semantics, and timing vs. Table 1.
+
+Every collective algorithm is exercised across machine sizes (including
+non-powers-of-two) and operator kinds (including non-commutative string
+concatenation and 2x2 matrices, which catch any rank-ordering mistake),
+and its simulated time is checked against the paper's closed forms on
+power-of-two machines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import MachineParams
+from repro.core.derived_ops import SRTreeOp, SSButterflyOp
+from repro.core.operators import ADD, CONCAT, MATMUL2, MAX, MUL
+from repro.machine.collectives import (
+    allgather_ring,
+    allreduce_balanced_machine,
+    allreduce_butterfly,
+    bcast_binomial,
+    gather_binomial,
+    reduce_balanced_tree,
+    reduce_binomial,
+    scan_balanced_butterfly,
+    scan_butterfly,
+    scan_hillis_steele,
+    scatter_binomial,
+)
+from repro.machine.engine import run_spmd
+from repro.semantics.balanced import reduce_balanced, scan_balanced
+from repro.semantics.functional import (
+    UNDEF,
+    allreduce_fn,
+    bcast_fn,
+    pair,
+    quadruple,
+    reduce_fn,
+    scan_fn,
+)
+from helpers import defined_pairs_equal
+
+PARAMS = MachineParams(p=8, ts=100.0, tw=2.0, m=16)
+SIZES = [1, 2, 3, 4, 5, 6, 7, 8, 11, 13, 16, 17]
+
+
+def run_collective(fn, inputs, *args, params=PARAMS):
+    def prog(ctx, x):
+        result = yield from fn(ctx, x, *args)
+        return result
+
+    return run_spmd(prog, inputs, params)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics(self, p):
+        xs = [f"blk{i}" for i in range(p)]
+        res = run_collective(bcast_binomial, xs)
+        assert list(res.values) == bcast_fn(xs)
+
+    @pytest.mark.parametrize("root", [0, 1, 3, 5])
+    def test_nonzero_root(self, root):
+        p = 6
+        xs = [f"blk{i}" for i in range(p)]
+        res = run_collective(bcast_binomial, xs, root)
+        assert list(res.values) == [f"blk{root}"] * p
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_timing_matches_eq15(self, p):
+        xs = [0] * p
+        res = run_collective(bcast_binomial, xs)
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * PARAMS.tw)
+        assert res.time == pytest.approx(expect)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics_noncommutative(self, p):
+        xs = [chr(97 + i % 26) for i in range(p)]
+        res = run_collective(reduce_binomial, xs, CONCAT)
+        assert defined_pairs_equal(res.values, reduce_fn(CONCAT, xs))
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics_matrices(self, p):
+        xs = [((1, i), (0, 1)) for i in range(p)]
+        res = run_collective(reduce_binomial, xs, MATMUL2)
+        assert res.values[0] == reduce_fn(MATMUL2, xs)[0]
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_timing_matches_eq16(self, p):
+        res = run_collective(reduce_binomial, [1] * p, ADD)
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * (PARAMS.tw + 1))
+        assert res.time == pytest.approx(expect)
+
+    def test_single_processor(self):
+        res = run_collective(reduce_binomial, [42], ADD)
+        assert res.values == (42,) and res.time == 0
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics_noncommutative(self, p):
+        xs = [chr(97 + i % 26) for i in range(p)]
+        res = run_collective(allreduce_butterfly, xs, CONCAT)
+        assert list(res.values) == allreduce_fn(CONCAT, xs)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_timing_pow2_matches_eq16(self, p):
+        res = run_collective(allreduce_butterfly, [1] * p, ADD)
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * (PARAMS.tw + 1))
+        assert res.time == pytest.approx(expect)
+
+    def test_nonpow2_costs_more(self):
+        res6 = run_collective(allreduce_butterfly, [1] * 6, ADD)
+        res8 = run_collective(allreduce_butterfly, [1] * 8, ADD)
+        assert res6.time > res8.time  # fallback reduce+bcast
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_butterfly_noncommutative(self, p):
+        xs = [chr(97 + i % 26) for i in range(p)]
+        res = run_collective(scan_butterfly, xs, CONCAT)
+        assert list(res.values) == scan_fn(CONCAT, xs)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_butterfly_matrices(self, p):
+        xs = [((1, i), (0, 1)) for i in range(p)]
+        res = run_collective(scan_butterfly, xs, MATMUL2)
+        assert list(res.values) == scan_fn(MATMUL2, xs)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_hillis_steele_noncommutative(self, p):
+        xs = [chr(97 + i % 26) for i in range(p)]
+        res = run_collective(scan_hillis_steele, xs, CONCAT)
+        assert list(res.values) == scan_fn(CONCAT, xs)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_timing_matches_eq17(self, p):
+        res = run_collective(scan_butterfly, [1] * p, ADD)
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * (PARAMS.tw + 2))
+        assert res.time == pytest.approx(expect)
+
+    @given(values=st.lists(st.integers(-50, 50), min_size=1, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_butterfly_random_sizes(self, values):
+        res = run_collective(scan_butterfly, values, ADD)
+        assert list(res.values) == scan_fn(ADD, values)
+
+
+class TestBalancedMachine:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_balanced_matches_reference(self, p):
+        values = [(i * 7) % 13 - 5 for i in range(p)]
+        xs = [pair(v) for v in values]
+        res = run_collective(reduce_balanced_tree, xs, SRTreeOp(ADD))
+        ref = reduce_balanced(SRTreeOp(ADD), xs)
+        assert defined_pairs_equal(res.values, ref)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce_balanced_everywhere(self, p):
+        values = [(i * 3) % 11 for i in range(p)]
+        xs = [pair(v) for v in values]
+        res = run_collective(allreduce_balanced_machine, xs, SRTreeOp(ADD))
+        want = reduce_fn(ADD, scan_fn(ADD, values))[0]
+        assert all(v[0] == want for v in res.values)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_balanced_matches_reference(self, p):
+        values = [(i * 5) % 17 - 8 for i in range(p)]
+        xs = [quadruple(v) for v in values]
+        res = run_collective(scan_balanced_butterfly, xs, SSButterflyOp(ADD))
+        want = scan_fn(ADD, scan_fn(ADD, values))
+        assert [v[0] for v in res.values] == want
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_balanced_reduce_timing(self, p):
+        xs = [pair(1)] * p
+        res = run_collective(reduce_balanced_tree, xs, SRTreeOp(ADD))
+        # log p levels of (ts + 2m*tw) comm + 4m compute on the critical path
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * (2 * PARAMS.tw + 4))
+        assert res.time == pytest.approx(expect)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_balanced_scan_timing(self, p):
+        xs = [quadruple(1)] * p
+        res = run_collective(scan_balanced_butterfly, xs, SSButterflyOp(ADD))
+        expect = math.log2(p) * (PARAMS.ts + PARAMS.m * (3 * PARAMS.tw + 8))
+        assert res.time == pytest.approx(expect)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_gather(self, p):
+        xs = [i * 10 for i in range(p)]
+        res = run_collective(gather_binomial, xs)
+        assert res.values[0] == xs
+        assert all(v is UNDEF for v in res.values[1:])
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scatter(self, p):
+        lists = [[i * 10 for i in range(p)]] + [None] * (p - 1)
+        res = run_collective(scatter_binomial, lists)
+        assert list(res.values) == [i * 10 for i in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allgather(self, p):
+        xs = [i * 10 for i in range(p)]
+        res = run_collective(allgather_ring, xs)
+        assert all(v == xs for v in res.values)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scatter_gather_roundtrip(self, p):
+        data = [f"item{i}" for i in range(p)]
+
+        def prog(ctx, x):
+            mine = yield from scatter_binomial(ctx, x)
+            full = yield from gather_binomial(ctx, mine)
+            return full
+
+        res = run_spmd(prog, [data] + [None] * (p - 1), PARAMS)
+        assert res.values[0] == data
+
+
+class TestBlellochScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics_noncommutative(self, p):
+        from repro.machine.collectives import scan_blelloch
+
+        xs = [chr(97 + i % 26) for i in range(p)]
+        res = run_collective(scan_blelloch, xs, CONCAT)
+        assert list(res.values) == scan_fn(CONCAT, xs)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_semantics_matrices(self, p):
+        from repro.machine.collectives import scan_blelloch
+
+        xs = [((1, i), (0, 1)) for i in range(p)]
+        res = run_collective(scan_blelloch, xs, MATMUL2)
+        assert list(res.values) == scan_fn(MATMUL2, xs)
+
+    @given(values=st.lists(st.integers(-50, 50), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sizes(self, values):
+        from repro.machine.collectives import scan_blelloch
+
+        res = run_collective(scan_blelloch, values, ADD)
+        assert list(res.values) == scan_fn(ADD, values)
+
+    @pytest.mark.parametrize("p", [8, 16, 32])
+    def test_work_efficiency(self, p):
+        """Blelloch does O(p) total combines; the butterfly does
+        O(p log p) — the whole point of the up/down-sweep."""
+        from repro.machine.collectives import scan_blelloch
+
+        xs = list(range(p))
+        blelloch = run_collective(scan_blelloch, xs, ADD)
+        butterfly = run_collective(scan_butterfly, xs, ADD)
+        assert blelloch.values == butterfly.values
+        assert blelloch.stats.compute_ops < butterfly.stats.compute_ops
+        # ~3p combines max (up-sweep p-1, down-sweep <= p-1, final <= p-1)
+        assert blelloch.stats.compute_ops <= 3 * p * PARAMS.m
+
+    @pytest.mark.parametrize("p", [8, 16, 32])
+    def test_depth_tradeoff(self, p):
+        """...but it needs ~2 log p serialized phases, so it is *slower*
+        in wall time on a latency-bound machine."""
+        from repro.machine.collectives import scan_blelloch
+
+        xs = list(range(p))
+        latency_bound = MachineParams(p=p, ts=10_000.0, tw=0.1, m=1)
+        t_b = run_collective(scan_blelloch, xs, ADD, params=latency_bound).time
+        t_f = run_collective(scan_butterfly, xs, ADD, params=latency_bound).time
+        assert t_b > t_f

@@ -1,0 +1,221 @@
+"""Cost model tests: Table 1 literal forms, generic-vs-closed consistency,
+improvement predicates, and the paper's §4.2 worked derivation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cost import (
+    CostFormula,
+    MachineParams,
+    PARSYTEC_LIKE,
+    bcast_formula,
+    program_cost,
+    reduce_formula,
+    scan_formula,
+    stage_cost,
+)
+from repro.core.operators import ADD, MUL
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.rules import ALL_RULES, rule_by_name
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+
+class TestMachineParams:
+    def test_log_p(self):
+        assert MachineParams(p=8, ts=1, tw=1).log_p == 3
+        assert MachineParams(p=1, ts=1, tw=1).log_p == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(p=0, ts=1, tw=1)
+        with pytest.raises(ValueError):
+            MachineParams(p=2, ts=-1, tw=1)
+        with pytest.raises(ValueError):
+            MachineParams(p=2, ts=1, tw=1, m=-1)
+
+    def test_with_(self):
+        params = PARSYTEC_LIKE.with_(m=5)
+        assert params.m == 5 and params.ts == PARSYTEC_LIKE.ts
+
+
+class TestBaseFormulas:
+    """Paper equations (15)-(17)."""
+
+    def test_bcast(self):
+        assert bcast_formula() == CostFormula.of(1, 1, 0)
+
+    def test_reduce(self):
+        assert reduce_formula() == CostFormula.of(1, 1, 1)
+
+    def test_scan(self):
+        assert scan_formula() == CostFormula.of(1, 1, 2)
+
+    def test_formula_evaluation(self):
+        params = MachineParams(p=8, ts=100, tw=2, m=16)
+        assert bcast_formula().evaluate(params) == 3 * (100 + 16 * 2)
+        assert scan_formula().evaluate(params) == 3 * (100 + 16 * 4)
+
+    def test_formula_arithmetic(self):
+        s = bcast_formula() + scan_formula()
+        assert s == CostFormula.of(2, 2, 2)
+        d = s - bcast_formula()
+        assert d == scan_formula()
+
+    def test_always_positive(self):
+        assert CostFormula.of(1, 0, 0).always_positive()
+        assert not CostFormula.of(0, 0, 0).always_positive()
+        assert not CostFormula.of(1, 0, -1).always_positive()
+
+    def test_pretty(self):
+        assert CostFormula.of(2, 2, 3).pretty() == "2ts + m*(2tw + 3)"
+        assert CostFormula.of(0, 0, 1).pretty() == "m*(1)"
+        assert CostFormula.of(1, 1, 0).pretty() == "ts + m*(tw)"
+        assert CostFormula.of(0, 0, 0).pretty() == "0"
+
+
+class TestTable1Literals:
+    """The exact before/after columns of the paper's Table 1."""
+
+    EXPECTED = {
+        "SR2-Reduction": ((2, 2, 3), (1, 2, 3)),
+        "SR-Reduction": ((2, 2, 3), (1, 2, 4)),
+        "SS2-Scan": ((2, 2, 4), (1, 2, 6)),
+        "SS-Scan": ((2, 2, 4), (1, 3, 8)),
+        "BS-Comcast": ((2, 2, 2), (1, 1, 2)),
+        "BSS2-Comcast": ((3, 3, 4), (1, 1, 5)),
+        "BSS-Comcast": ((3, 3, 4), (1, 1, 8)),
+        "BR-Local": ((2, 2, 1), (0, 0, 1)),
+        "BSR2-Local": ((3, 3, 3), (0, 0, 3)),
+        "BSR-Local": ((3, 3, 3), (0, 0, 4)),
+        "CR-Alllocal": ((2, 2, 1), (1, 1, 1)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_closed_forms(self, name):
+        rule = rule_by_name(name)
+        before, after = self.EXPECTED[name]
+        assert rule.before_formula() == CostFormula.of(*before)
+        assert rule.after_formula() == CostFormula.of(*after)
+
+    EXPECTED_ALWAYS = {
+        "SR2-Reduction": True,
+        "SR-Reduction": False,
+        "SS2-Scan": False,
+        "SS-Scan": False,
+        "BS-Comcast": True,
+        "BSS2-Comcast": False,   # condition: tw + ts/m > 1/2
+        "BSS-Comcast": False,
+        "BR-Local": True,
+        "BSR2-Local": True,
+        "BSR-Local": False,
+        "CR-Alllocal": True,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_ALWAYS))
+    def test_always_column(self, name):
+        assert rule_by_name(name).always_improves() == self.EXPECTED_ALWAYS[name]
+
+
+class TestTable1AgainstGenericStageCosts:
+    """The closed forms must equal summed generic stage costs for unit ops."""
+
+    LHS_PROGRAMS = {
+        "SR2-Reduction": Program([ScanStage(MUL), ReduceStage(ADD)]),
+        "SR-Reduction": Program([ScanStage(ADD), ReduceStage(ADD)]),
+        "SS2-Scan": Program([ScanStage(MUL), ScanStage(ADD)]),
+        "SS-Scan": Program([ScanStage(ADD), ScanStage(ADD)]),
+        "BS-Comcast": Program([BcastStage(), ScanStage(ADD)]),
+        "BSS2-Comcast": Program([BcastStage(), ScanStage(MUL), ScanStage(ADD)]),
+        "BSS-Comcast": Program([BcastStage(), ScanStage(ADD), ScanStage(ADD)]),
+        "BR-Local": Program([BcastStage(), ReduceStage(ADD)]),
+        "BSR2-Local": Program([BcastStage(), ScanStage(MUL), ReduceStage(ADD)]),
+        "BSR-Local": Program([BcastStage(), ScanStage(ADD), ReduceStage(ADD)]),
+        "CR-Alllocal": Program([BcastStage(), AllReduceStage(ADD)]),
+    }
+
+    @pytest.mark.parametrize("name", sorted(LHS_PROGRAMS))
+    def test_before_and_after_match_stage_costs(self, name):
+        rule = rule_by_name(name)
+        prog = self.LHS_PROGRAMS[name]
+        params = MachineParams(p=16, ts=123.0, tw=3.0, m=17)
+        (match,) = [m for m in find_matches(prog, p=16) if m.rule.name == name]
+        rewritten, _ = apply_match(prog, match, p=16, force_unsafe=True)
+        assert program_cost(prog, params) == pytest.approx(
+            rule.before_formula().evaluate(params)
+        )
+        assert program_cost(rewritten, params) == pytest.approx(
+            rule.after_formula().evaluate(params)
+        )
+
+
+class TestImprovementPredicates:
+    def test_sr_reduction_threshold_ts_equals_m(self):
+        rule = rule_by_name("SR-Reduction")
+        at = lambda ts, m: rule.improves(MachineParams(p=8, ts=ts, tw=1, m=m))
+        assert at(101, 100)
+        assert not at(100, 100)  # strict inequality
+        assert not at(99, 100)
+
+    def test_ss2_scan_threshold_ts_equals_2m(self):
+        """The paper's §4.2 worked example: pays off iff ts > 2m."""
+        rule = rule_by_name("SS2-Scan")
+        at = lambda ts, m: rule.improves(MachineParams(p=8, ts=ts, tw=1, m=m))
+        assert at(201, 100)
+        assert not at(200, 100)
+        assert not at(150, 100)
+
+    def test_ss_scan_threshold(self):
+        # ts > m*(tw + 4)
+        rule = rule_by_name("SS-Scan")
+        p = MachineParams(p=8, ts=601, tw=2.0, m=100)
+        assert rule.improves(p)
+        assert not rule.improves(p.with_(ts=600))
+
+    def test_bss_comcast_threshold(self):
+        # tw + ts/m > 2
+        rule = rule_by_name("BSS-Comcast")
+        assert rule.improves(MachineParams(p=8, ts=150, tw=1.0, m=100))
+        assert not rule.improves(MachineParams(p=8, ts=100, tw=1.0, m=100))
+
+    def test_bsr_local_threshold(self):
+        # tw + ts/m >= 1/3 (we use strict > on the margin)
+        rule = rule_by_name("BSR-Local")
+        assert rule.improves(MachineParams(p=8, ts=40, tw=0.0, m=100))
+        assert not rule.improves(MachineParams(p=8, ts=30, tw=0.0, m=100))
+
+
+class TestStageCosts:
+    def test_map_cost_scales_with_ops(self):
+        params = MachineParams(p=4, ts=10, tw=1, m=8)
+        assert stage_cost(MapStage(lambda x: x, ops_per_element=0), params) == 0
+        assert stage_cost(MapStage(lambda x: x, ops_per_element=3), params) == 24
+
+    def test_wide_operator_charges_more_words(self):
+        from repro.core.derived_ops import sr2_op
+
+        params = MachineParams(p=4, ts=10, tw=1, m=8)
+        narrow = stage_cost(ScanStage(ADD), params)
+        wide = stage_cost(ScanStage(sr2_op(MUL, ADD)), params)
+        assert wide > narrow
+
+    def test_unknown_stage_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            stage_cost(Weird(), MachineParams(p=2, ts=1, tw=1))
+
+    def test_single_processor_costs_nothing_for_collectives(self):
+        params = MachineParams(p=1, ts=100, tw=10, m=8)
+        assert stage_cost(BcastStage(), params) == 0
+        assert stage_cost(ScanStage(ADD), params) == 0

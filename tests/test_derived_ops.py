@@ -1,0 +1,172 @@
+"""Derived operators: invariants, associativity, and cost metadata."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.derived_ops import (
+    SRTreeOp,
+    SSButterflyOp,
+    br_iter_op,
+    bs_comcast_op,
+    bss2_comcast_op,
+    bss_comcast_op,
+    bsr2_iter_op,
+    bsr_iter_op,
+    sr2_op,
+)
+from repro.core.operators import ADD, MATADD2, MATMUL2, MAX, MUL, check_associative
+from repro.semantics.functional import UNDEF
+
+
+class TestSR2Op:
+    def test_definition(self):
+        op = sr2_op(MUL, ADD)
+        # op_sr2((s1,r1),(s2,r2)) = (s1 + r1*s2, r1*r2)
+        assert op((10, 2), (5, 3)) == (10 + 2 * 5, 6)
+
+    def test_associative_given_distributivity(self):
+        op = sr2_op(MUL, ADD)
+
+        def gen(rng: random.Random):
+            return (rng.randint(-5, 5), rng.randint(-5, 5))
+
+        check_associative(op, gen, trials=200)
+
+    def test_associative_tropical(self):
+        op = sr2_op(ADD, MAX)
+
+        def gen(rng: random.Random):
+            return (rng.randint(-20, 20), rng.randint(-20, 20))
+
+        check_associative(op, gen, trials=200)
+
+    def test_cost_metadata(self):
+        op = sr2_op(MUL, ADD)
+        assert op.op_count == 3  # two ⊗ + one ⊕
+        assert op.width == 2
+        # matrix version: wider and costlier
+        mat = sr2_op(MATMUL2, MATADD2)
+        assert mat.width == 8
+        assert mat.op_count == 2 * MATMUL2.op_count + MATADD2.op_count
+
+
+class TestSRTreeOp:
+    def test_combine_figure4_node(self):
+        op = SRTreeOp(ADD)
+        assert op.combine((2, 2), (5, 5)) == (9, 14)
+        assert op.combine_empty((9, 14)) == (9, 28)
+
+    def test_cost_metadata(self):
+        op = SRTreeOp(ADD)
+        assert op.op_count == 4  # with the uu sharing (paper: 4 not 5)
+        assert op.comm_width == 2
+
+    def test_prepare_is_identity(self):
+        # the rule's `map pair` builds the state; prepare must not re-pair
+        op = SRTreeOp(ADD)
+        assert op.prepare((3, 3)) == (3, 3)
+
+
+class TestSSButterflyOp:
+    def test_combine_figure5_node(self):
+        op = SSButterflyOp(ADD)
+        lo, hi = op.combine((2, 2, 2, 2), (5, 5, 5, 5))
+        assert lo == (2, 9, 14, 7)
+        assert hi == (9, 9, 14, 14)
+
+    def test_missing_keeps_first(self):
+        op = SSButterflyOp(ADD)
+        out = op.missing((7, 1, 2, 3))
+        assert out[0] == 7 and all(v is UNDEF for v in out[1:])
+
+    def test_undefined_propagates_through_combine(self):
+        op = SSButterflyOp(ADD)
+        lo, hi = op.combine((2, 3, 4, 5), (9, UNDEF, UNDEF, UNDEF))
+        # the hi result's s-component only needs s2, t1, v1 — all defined
+        assert hi[0] == 9 + 3 + 5
+        assert lo[0] == 2
+
+    def test_cost_metadata(self):
+        op = SSButterflyOp(ADD)
+        assert op.op_count == 8   # sharing: 8 instead of 12 ("one third")
+        assert op.comm_width == 3  # s never crosses the wire
+
+
+class TestComcastOps:
+    @given(k=st.integers(0, 300), b=st.integers(-10, 10))
+    @settings(max_examples=60)
+    def test_bs_invariant(self, k, b):
+        """op_comp k b = b^(k+1) for the scan operator."""
+        assert bs_comcast_op(ADD).compute(k, b) == b * (k + 1)
+
+    @given(k=st.integers(0, 40))
+    @settings(max_examples=40)
+    def test_bss2_invariant(self, k):
+        """bcast;scan(×);scan(+): processor k gets sum of b^j, j=1..k+1."""
+        b = 2
+        expected = sum(b**j for j in range(1, k + 2))
+        assert bss2_comcast_op(MUL, ADD).compute(k, b) == expected
+
+    @given(k=st.integers(0, 300), b=st.integers(-10, 10))
+    @settings(max_examples=60)
+    def test_bss_invariant(self, k, b):
+        """bcast;scan(+);scan(+): processor k gets b*(k+1)(k+2)/2."""
+        expected = b * (k + 1) * (k + 2) // 2
+        assert bss_comcast_op(ADD).compute(k, b) == expected
+
+    def test_metadata(self):
+        assert bs_comcast_op(ADD).op_count == 2
+        assert bs_comcast_op(ADD).state_width == 2
+        assert bss2_comcast_op(MUL, ADD).op_count == 5
+        assert bss2_comcast_op(MUL, ADD).state_width == 3
+        assert bss_comcast_op(ADD).op_count == 8
+        assert bss_comcast_op(ADD).state_width == 4
+
+
+class TestIterOps:
+    @given(logp=st.integers(0, 10), b=st.integers(-10, 10))
+    def test_br_power_of_two(self, logp, b):
+        p = 2**logp
+        assert br_iter_op(ADD).compute(p, b) == b * p
+
+    @given(p=st.integers(1, 100), b=st.integers(-10, 10))
+    def test_br_general(self, p, b):
+        assert br_iter_op(ADD).compute_general(p, b) == b * p
+
+    @given(logp=st.integers(0, 6))
+    def test_bsr2_power_of_two(self, logp):
+        p, b = 2**logp, 2
+        expected = sum(b**j for j in range(1, p + 1))
+        assert bsr2_iter_op(MUL, ADD).compute(p, b) == expected
+
+    @given(p=st.integers(1, 20))
+    def test_bsr2_general(self, p):
+        b = 2
+        expected = sum(b**j for j in range(1, p + 1))
+        assert bsr2_iter_op(MUL, ADD).compute_general(p, b) == expected
+
+    @given(logp=st.integers(0, 10), b=st.integers(-10, 10))
+    def test_bsr_power_of_two(self, logp, b):
+        p = 2**logp
+        assert bsr_iter_op(ADD).compute(p, b) == b * p * (p + 1) // 2
+
+    @given(p=st.integers(1, 200), b=st.integers(-10, 10))
+    def test_bsr_general(self, p, b):
+        assert bsr_iter_op(ADD).compute_general(p, b) == b * p * (p + 1) // 2
+
+    def test_compute_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            br_iter_op(ADD).compute(6, 1)
+
+    def test_compute_general_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            br_iter_op(ADD).compute_general(0, 1)
+
+    def test_op_counts_match_table1(self):
+        assert br_iter_op(ADD).op_count == 1     # BR-Local: m
+        assert bsr2_iter_op(MUL, ADD).op_count == 3  # BSR2-Local: 3m
+        assert bsr_iter_op(ADD).op_count == 4    # BSR-Local: 4m

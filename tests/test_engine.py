@@ -1,0 +1,178 @@
+"""Simulator engine tests: timing, matching, deadlocks, statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.machine.engine import DeadlockError, run_spmd
+from repro.machine.primitives import RankContext
+
+PARAMS = MachineParams(p=2, ts=100.0, tw=2.0, m=1)
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self):
+        def prog(ctx: RankContext, x):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "hello", 5)
+                return None
+            msg = yield from ctx.recv(0)
+            return msg
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        assert res.values == (None, "hello")
+
+    def test_send_recv_timing(self):
+        def prog(ctx, x):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "x", 10)
+            else:
+                yield from ctx.recv(0)
+            return None
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        # ts + words*tw = 100 + 20; both sides block until completion
+        assert res.time == 120
+        assert res.stats.clocks == (120, 120)
+
+    def test_rendezvous_waits_for_late_party(self):
+        def prog(ctx, x):
+            if ctx.rank == 0:
+                yield from ctx.compute(500)
+                yield from ctx.send(1, "x", 1)
+            else:
+                yield from ctx.recv(0)
+            return None
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        assert res.time == 500 + 100 + 2
+
+    def test_sendrecv_bidirectional_single_cost(self):
+        def prog(ctx, x):
+            other = yield from ctx.sendrecv(1 - ctx.rank, ctx.rank * 10, 4)
+            return other
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        assert res.values == (10, 0)
+        assert res.time == 100 + 8  # one exchange, max(words)*tw
+
+    def test_sendrecv_charges_max_words(self):
+        def prog(ctx, x):
+            w = 3 if ctx.rank == 0 else 9
+            yield from ctx.sendrecv(1 - ctx.rank, None, w)
+            return None
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        assert res.time == 100 + 9 * 2
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def prog(ctx, x):
+            yield from ctx.compute(42)
+            return x
+
+        res = run_spmd(prog, [1, 2], PARAMS)
+        assert res.time == 42
+        assert res.stats.compute_ops == 84
+
+    def test_zero_compute_free(self):
+        def prog(ctx, x):
+            yield from ctx.compute(0)
+            return x
+
+        assert run_spmd(prog, [1], PARAMS).time == 0
+
+    def test_negative_compute_rejected(self):
+        def prog(ctx, x):
+            yield from ctx.compute(-1)
+            return x
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, [1], PARAMS)
+
+
+class TestValidation:
+    def test_self_send_rejected(self):
+        def prog(ctx, x):
+            yield from ctx.send(ctx.rank, None, 1)
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, [0, 0], PARAMS)
+
+    def test_out_of_range_partner_rejected(self):
+        def prog(ctx, x):
+            yield from ctx.sendrecv(5, None, 1)
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, [0, 0], PARAMS)
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda ctx, x: iter(()), [], PARAMS)
+
+
+class TestDeadlocks:
+    def test_two_sends_deadlock(self):
+        def prog(ctx, x):
+            yield from ctx.send(1 - ctx.rank, None, 1)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, [0, 0], PARAMS)
+
+    def test_two_recvs_deadlock(self):
+        def prog(ctx, x):
+            yield from ctx.recv(1 - ctx.rank)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, [0, 0], PARAMS)
+
+    def test_mismatched_sendrecv_deadlocks(self):
+        def prog(ctx, x):
+            if ctx.rank == 0:
+                yield from ctx.sendrecv(1, None, 1)
+            else:
+                yield from ctx.recv(0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, [0, 0], PARAMS)
+
+    def test_deadlock_message_names_ranks(self):
+        def prog(ctx, x):
+            yield from ctx.recv(1 - ctx.rank)
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            run_spmd(prog, [0, 0], PARAMS)
+
+
+class TestStats:
+    def test_message_and_word_counting(self):
+        def prog(ctx, x):
+            if ctx.rank == 0:
+                yield from ctx.send(1, None, 7)
+            else:
+                yield from ctx.recv(0)
+            yield from ctx.sendrecv(1 - ctx.rank, None, 3)
+            return None
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        assert res.stats.messages == 3  # 1 send + 2 (sendrecv counts both)
+        assert res.stats.words == 7 + 6
+
+    def test_makespan_is_max_clock(self):
+        def prog(ctx, x):
+            yield from ctx.compute(10 * (ctx.rank + 1))
+            return None
+
+        res = run_spmd(prog, [0, 0, 0], PARAMS)
+        assert res.stats.clocks == (10, 20, 30)
+        assert res.time == 30
+
+    def test_generator_return_values_collected(self):
+        def prog(ctx, x):
+            return x * 2
+            yield  # pragma: no cover
+
+        res = run_spmd(prog, [1, 2, 3], PARAMS)
+        assert res.values == (2, 4, 6)

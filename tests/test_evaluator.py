@@ -1,0 +1,60 @@
+"""Evaluator utilities: traces and program equivalence checking."""
+
+from __future__ import annotations
+
+from repro.core.operators import ADD, MUL
+from repro.core.stages import BcastStage, MapStage, Program, ReduceStage, ScanStage
+from repro.semantics.evaluator import equivalent_on, run_program, run_with_trace
+
+
+class TestRunProgram:
+    def test_matches_program_run(self):
+        prog = Program([ScanStage(ADD)])
+        assert run_program(prog, [1, 2, 3]) == prog.run([1, 2, 3])
+
+
+class TestTrace:
+    def test_paper_value_chain(self):
+        """x -> y -> z -> u -> v of the Example program (paper §2.2)."""
+        prog = Program([
+            MapStage(lambda x: 2 * x, label="f"),
+            ScanStage(MUL),
+            ReduceStage(ADD),
+            MapStage(lambda u: u + 1, label="g"),
+            BcastStage(),
+        ])
+        trace = run_with_trace(prog, [1, 2, 3, 4])
+        assert trace.inputs == (1, 2, 3, 4)
+        assert trace.states[0] == (2, 4, 6, 8)            # y = f(x)
+        assert trace.states[1] == (2, 8, 48, 384)         # z = scan(*)
+        assert trace.states[2][0] == 442                  # u = reduce(+)
+        assert trace.states[3][0] == 443                  # v = g(u)
+        assert trace.states[4] == (443,) * 4              # bcast
+        assert trace.output == (443,) * 4
+
+    def test_describe_lists_stages(self):
+        prog = Program([ScanStage(ADD)])
+        text = run_with_trace(prog, [1, 2]).describe()
+        assert "scan (add)" in text and "input" in text
+
+    def test_empty_program_trace(self):
+        trace = run_with_trace(Program([]), [1, 2])
+        assert trace.output == (1, 2)
+
+
+class TestEquivalentOn:
+    def test_equal_programs(self):
+        a = Program([ScanStage(ADD)])
+        b = Program([ScanStage(ADD)])
+        assert equivalent_on(a, b, [[1, 2, 3], [5], [0, 0]])
+
+    def test_detects_difference(self):
+        a = Program([ScanStage(ADD)])
+        b = Program([ScanStage(MUL)])
+        assert not equivalent_on(a, b, [[2, 3]])
+
+    def test_modulo_undefined(self):
+        """reduce leaves non-roots undefined; equivalent to any junk there."""
+        a = Program([ReduceStage(ADD)])
+        b = Program([ReduceStage(ADD), MapStage(lambda x: x)])
+        assert equivalent_on(a, b, [[1, 2, 3]])

@@ -1,0 +1,35 @@
+"""Every example script must run cleanly (guards against rot)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_example_inventory():
+    """The README promises at least three runnable examples; we ship 12+."""
+    assert len(EXAMPLES) >= 10
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "polynomial_evaluation.py" in names

@@ -1,0 +1,137 @@
+"""Failure injection: broken operators, mid-run crashes, misuse paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, BinOp, OpPropertyError, verify_op
+from repro.core.optimizer import optimize
+from repro.core.rewrite import find_matches
+from repro.core.stages import BcastStage, Program, ReduceStage, ScanStage
+from repro.machine import simulate_program
+from repro.machine.engine import run_spmd
+from repro.mpi.threaded import threaded_spmd_run
+
+PARAMS = MachineParams(p=8, ts=10.0, tw=1.0, m=4)
+
+
+class _Bomb(Exception):
+    pass
+
+
+def _exploding_op(after: int) -> BinOp:
+    """An operator that detonates on its (after+1)-th application."""
+    calls = {"n": 0}
+
+    def fn(a, b):
+        calls["n"] += 1
+        if calls["n"] > after:
+            raise _Bomb(f"operator exploded on call {calls['n']}")
+        return a + b
+
+    return BinOp("bomb", fn, commutative=True)
+
+
+class TestOperatorFailures:
+    def test_mid_collective_explosion_propagates_cooperative(self):
+        prog = Program([ScanStage(_exploding_op(3))])
+        with pytest.raises(_Bomb):
+            simulate_program(prog, list(range(8)), PARAMS)
+
+    def test_mid_collective_explosion_propagates_threaded(self):
+        def rank_prog(comm, x):
+            return comm.scan(x, op=_exploding_op(3))
+
+        with pytest.raises((_Bomb, Exception)):
+            threaded_spmd_run(rank_prog, list(range(8)), PARAMS)
+
+    def test_reference_semantics_also_propagate(self):
+        prog = Program([ReduceStage(_exploding_op(2))])
+        with pytest.raises(_Bomb):
+            prog.run(list(range(8)))
+
+    def test_declared_but_false_commutativity_caught_by_verify(self):
+        fake = BinOp("fake_comm", lambda a, b: a - b, commutative=True)
+        with pytest.raises(OpPropertyError):
+            verify_op(fake, lambda rng: rng.randint(-9, 9))
+
+    def test_wrongly_declared_op_can_mislead_rules(self):
+        """A *lying* commutativity flag makes SR-Reduction fire and produce
+        wrong results — which the equivalence checker then exposes.  This
+        documents why `verify_op` exists."""
+        from repro.semantics.equivalence import check_rule_on_domain
+        from repro.core.rules import rule_by_name
+
+        lying = BinOp("lying_sub", lambda a, b: a - b, commutative=True)
+        prog = Program([ScanStage(lying), ReduceStage(lying)])
+        rule = rule_by_name("SR-Reduction")
+        assert any(m.rule.name == "SR-Reduction" for m in find_matches(prog))
+        ce = check_rule_on_domain(rule, prog, lambda r: r.randint(1, 9),
+                                  sizes=(3, 4, 5), trials=40)
+        assert ce is not None  # the lie is caught
+
+
+class TestEngineMisuse:
+    def test_rank_fn_must_be_generator(self):
+        def not_a_gen(ctx, x):
+            return x
+
+        # returning a non-generator: run_spmd treats the return as a bare
+        # value and fails loudly when trying to drive it
+        with pytest.raises((TypeError, AttributeError)):
+            run_spmd(not_a_gen, [1, 2], PARAMS)
+
+    def test_unknown_action_rejected(self):
+        def prog(ctx, x):
+            yield "not an action"
+
+        with pytest.raises(Exception):
+            run_spmd(prog, [1, 2], PARAMS)
+
+    def test_optimize_with_no_rules_is_identity(self):
+        prog = Program([BcastStage(), ScanStage(ADD)])
+        res = optimize(prog, PARAMS, rules=[])
+        assert res.program.stages == prog.stages
+        assert res.cost_before == res.cost_after
+
+    def test_simulate_empty_program(self):
+        prog = Program([])
+        sim = simulate_program(prog, [1, 2, 3], PARAMS)
+        assert sim.values == (1, 2, 3)
+        assert sim.time == 0
+
+
+class TestGoldenTexts:
+    """Regression pins on generated reference texts."""
+
+    def test_table1_text_stable(self):
+        from repro.analysis import render_table1
+
+        text = render_table1()
+        expected_rows = [
+            "SR2-Reduction   2ts + m*(2tw + 3)          ts + m*(2tw + 3)           always",
+            "SS-Scan         2ts + m*(2tw + 4)          ts + m*(3tw + 8)           ts > m*(tw + 4)",
+            "BSR-Local       3ts + m*(3tw + 3)          m*(4)                      tw + ts/m >= 1/3",
+        ]
+        for row in expected_rows:
+            assert row in text, row
+
+    def test_catalogue_contains_all_15_rules(self):
+        from repro.analysis import rule_catalogue
+        from repro.core.rules import FULL_RULES
+
+        text = rule_catalogue()
+        for rule in FULL_RULES:
+            assert rule.name in text
+
+    def test_example_derivation_stable(self):
+        from repro.apps import build_example
+        from repro.core.cost import PARSYTEC_LIKE
+
+        res = optimize(build_example(), PARSYTEC_LIKE)
+        assert res.derivation.rules_used == ("SR2-Reduction",)
+        assert res.program.pretty() == (
+            "map f ; map pair ; reduce (op_sr2[mul,add]) ; map pi_1 ; "
+            "map g ; bcast"
+        )

@@ -1,0 +1,54 @@
+"""Figure 2: equivalence of P1 and P2 via auxiliary variables (§2.3).
+
+P1 = allreduce (+)
+P2 = map pair ; allreduce (op_new) ; map π1
+with op_new((a1,b1),(a2,b2)) = (a1 + a2, b1 * b2).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.operators import ADD, BinOp
+from repro.core.stages import AllReduceStage, MapStage, Program
+from repro.semantics.functional import pair, pi1
+
+OP_NEW = BinOp(
+    "op_new",
+    lambda a, b: (a[0] + b[0], a[1] * b[1]),
+    commutative=True,
+    op_count=2,
+    width=2,
+)
+
+P1 = Program([AllReduceStage(ADD)], name="P1")
+P2 = Program(
+    [MapStage(pair, label="pair"), AllReduceStage(OP_NEW), MapStage(pi1, label="pi_1")],
+    name="P2",
+)
+
+
+def test_paper_example_input():
+    """The concrete run of Figure 2: input [1,2,3,4]."""
+    assert P1.run([1, 2, 3, 4]) == [10, 10, 10, 10]
+    assert P2.run([1, 2, 3, 4]) == [10, 10, 10, 10]
+
+
+def test_p2_intermediate_carries_product():
+    """The reduction in P2 computes the product (24) too — then discards it."""
+    inner = Program([MapStage(pair), AllReduceStage(OP_NEW)])
+    assert inner.run([1, 2, 3, 4]) == [(10, 24)] * 4
+
+
+@given(st.lists(st.integers(-10, 10), min_size=1, max_size=16))
+def test_semantic_equality_on_random_inputs(xs):
+    assert P1.run(xs) == P2.run(xs)
+
+
+def test_p2_costs_more():
+    """The paper: P2's cost is obviously higher (extra computation and
+    communication in the reduction stage)."""
+    from repro.core.cost import MachineParams, program_cost
+
+    params = MachineParams(p=8, ts=100, tw=2, m=64)
+    assert program_cost(P2, params) > program_cost(P1, params)

@@ -1,0 +1,203 @@
+"""Tests for the reference functional semantics (semantics.functional)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.operators import ADD, CONCAT, MAX, MUL
+from repro.semantics.functional import (
+    UNDEF,
+    Undefined,
+    bcast_fn,
+    comcast_fn,
+    defined_equal,
+    exclusive_scan_fn,
+    iter_fn,
+    iter_general_fn,
+    map2,
+    map2_indexed,
+    map_fn,
+    map_indexed,
+    pair,
+    pi1,
+    quadruple,
+    reduce_fn,
+    repeat_fn,
+    scan_fn,
+    times_fn,
+    triple,
+    allreduce_fn,
+)
+
+
+class TestUndefined:
+    def test_singleton(self):
+        assert Undefined() is UNDEF
+        assert Undefined() is Undefined()
+
+    def test_repr(self):
+        assert repr(UNDEF) == "_"
+
+
+class TestLocalStages:
+    def test_map_applies_everywhere(self):
+        assert map_fn(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_map_skips_undefined(self):
+        assert map_fn(lambda x: x * 2, [1, UNDEF, 3]) == [2, UNDEF, 6]
+
+    def test_map_indexed_receives_rank(self):
+        assert map_indexed(lambda i, x: (i, x), ["a", "b"]) == [(0, "a"), (1, "b")]
+
+    def test_map_indexed_skips_undefined(self):
+        assert map_indexed(lambda i, x: i + x, [1, UNDEF]) == [1, UNDEF]
+
+    def test_map2_zips(self):
+        assert map2(lambda x, y: x + y, [1, 2], [10, 20]) == [11, 22]
+
+    def test_map2_length_mismatch(self):
+        with pytest.raises(ValueError):
+            map2(lambda x, y: x, [1], [1, 2])
+
+    def test_map2_indexed(self):
+        out = map2_indexed(lambda i, x, y: i * 100 + x + y, [1, 2], [10, 20])
+        assert out == [11, 122]
+
+    def test_map2_undefined_propagates(self):
+        assert map2(lambda x, y: x + y, [1, UNDEF], [10, 20]) == [11, UNDEF]
+
+
+class TestCollectives:
+    def test_scan_paper_equation_7(self):
+        assert scan_fn(ADD, [1, 2, 3, 4]) == [1, 3, 6, 10]
+
+    def test_scan_singleton(self):
+        assert scan_fn(ADD, [5]) == [5]
+
+    def test_scan_noncommutative_order(self):
+        assert scan_fn(CONCAT, ["a", "b", "c"]) == ["a", "ab", "abc"]
+
+    def test_scan_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scan_fn(ADD, [])
+
+    def test_reduce_root_only(self):
+        out = reduce_fn(ADD, [1, 2, 3, 4])
+        assert out[0] == 10
+        assert all(x is UNDEF for x in out[1:])
+
+    def test_reduce_noncommutative_order(self):
+        assert reduce_fn(CONCAT, ["a", "b", "c"])[0] == "abc"
+
+    def test_allreduce_everywhere(self):
+        assert allreduce_fn(ADD, [1, 2, 3]) == [6, 6, 6]
+
+    def test_bcast_replicates_first(self):
+        assert bcast_fn([7, 0, 0]) == [7, 7, 7]
+
+    def test_bcast_singleton(self):
+        assert bcast_fn([3]) == [3]
+
+    def test_exclusive_scan(self):
+        assert exclusive_scan_fn(ADD, [1, 2, 3, 4]) == [0, 1, 3, 6]
+
+    def test_exclusive_scan_needs_identity(self):
+        with pytest.raises(ValueError):
+            exclusive_scan_fn(MAX, [1, 2])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    def test_scan_last_equals_reduce_root(self, xs):
+        assert scan_fn(ADD, xs)[-1] == reduce_fn(ADD, xs)[0]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    def test_allreduce_equals_reduce_everywhere(self, xs):
+        root = reduce_fn(ADD, xs)[0]
+        assert allreduce_fn(ADD, xs) == [root] * len(xs)
+
+
+class TestAuxiliaries:
+    def test_tuple_builders(self):
+        assert pair(3) == (3, 3)
+        assert triple(3) == (3, 3, 3)
+        assert quadruple(3) == (3, 3, 3, 3)
+
+    def test_pi1_on_any_tuple(self):
+        assert pi1((1, 2)) == 1
+        assert pi1((1, 2, 3)) == 1
+        assert pi1((1, 2, 3, 4)) == 1
+
+
+class TestRepeat:
+    def test_zero_applications(self):
+        assert repeat_fn(lambda b: b + 1, lambda b: b * 2, 0, 10) == 10
+
+    def test_digit_traversal_lsb_first(self):
+        # k = 6 = 0b110: digits 0,1,1 -> e, o, o
+        trace = []
+        e = lambda b: trace.append("e") or b
+        o = lambda b: trace.append("o") or b
+        repeat_fn(e, o, 6, None)
+        assert trace == ["e", "o", "o"]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_fn(lambda b: b, lambda b: b, -1, 0)
+
+    @given(st.integers(0, 200), st.integers(-10, 10))
+    def test_repeat_computes_power_logarithmically(self, k, b):
+        # with the BS-Comcast digit functions, repeat computes b*(k+1)
+        e = lambda s: (s[0], s[1] + s[1])
+        o = lambda s: (s[0] + s[1], s[1] + s[1])
+        assert repeat_fn(e, o, k, (b, b))[0] == b * (k + 1)
+
+    @given(st.integers(0, 60))
+    def test_repeat_agrees_with_times(self, k):
+        # scalar doubling chain: repeat == naive iteration for g = +1 when
+        # digit functions mimic increments isn't meaningful; instead check
+        # the multiplication-by-(k+1) pattern against times g with g = +b.
+        b = 3
+        g = lambda x: x + b
+        naive = times_fn(g, k, b)
+        e = lambda s: (s[0], s[1] + s[1])
+        o = lambda s: (s[0] + s[1], s[1] + s[1])
+        assert repeat_fn(e, o, k, (b, b))[0] == naive
+
+
+class TestComcastAndIter:
+    def test_comcast_pattern(self):
+        out = comcast_fn(lambda b: b * 2, [3, None, None])
+        assert out == [3, 6, 12]
+
+    def test_iter_power_of_two(self):
+        out = iter_fn(lambda x: x + x, [5, 0, 0, 0, 0, 0, 0, 0])
+        assert out[0] == 40  # 5 * 8
+        assert all(x is UNDEF for x in out[1:])
+
+    def test_iter_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            iter_fn(lambda x: x, [1, 2, 3])
+
+    @given(st.integers(1, 64))
+    def test_iter_general_any_size(self, n):
+        # BS-Comcast digit functions at k = n-1 give b*n (bcast;reduce(+))
+        e = lambda s: (s[0], s[1] + s[1])
+        o = lambda s: (s[0] + s[1], s[1] + s[1])
+        xs = [(3, 3)] + [None] * (n - 1)
+        out = iter_general_fn(e, o, xs)
+        assert out[0][0] == 3 * n
+
+
+class TestDefinedEqual:
+    def test_equal_lists(self):
+        assert defined_equal([1, 2], [1, 2])
+
+    def test_undef_matches_anything(self):
+        assert defined_equal([1, UNDEF], [1, 99])
+        assert defined_equal([UNDEF, 2], [1, 2])
+
+    def test_length_mismatch(self):
+        assert not defined_equal([1], [1, 2])
+
+    def test_real_mismatch(self):
+        assert not defined_equal([1, 2], [1, 3])

@@ -1,0 +1,180 @@
+"""Sub-communicator (comm.split) tests — including the six-line
+re-derivation of hierarchical allreduce from two splits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT
+from repro.machine.hierarchical import TwoLevelParams, allreduce_hierarchical
+from repro.machine.engine import run_spmd
+from repro.mpi import Comm, spmd_run
+from repro.mpi.groups import GroupContext, comm_split
+
+PARAMS = MachineParams(p=8, ts=20.0, tw=1.0, m=4)
+
+
+class TestSplitBasics:
+    def test_split_by_parity(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm_split(comm, color=comm.rank % 2)
+            total = yield from sub.allreduce(x, op=ADD)
+            return (sub.rank, sub.size, total)
+
+        res = spmd_run(prog, list(range(8)), PARAMS)
+        evens = sum(r for r in range(8) if r % 2 == 0)
+        odds = sum(r for r in range(8) if r % 2 == 1)
+        for r, (sub_rank, sub_size, total) in enumerate(res.values):
+            assert sub_size == 4
+            assert sub_rank == r // 2
+            assert total == (evens if r % 2 == 0 else odds)
+
+    def test_split_scan_order_within_group(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm_split(comm, color=comm.rank // 4)
+            out = yield from sub.scan(x, op=CONCAT)
+            return out
+
+        res = spmd_run(prog, [chr(97 + i) for i in range(8)], PARAMS)
+        assert res.values[:4] == ("a", "ab", "abc", "abcd")
+        assert res.values[4:] == ("e", "ef", "efg", "efgh")
+
+    def test_none_color_gets_no_communicator(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm_split(
+                comm, color=None if comm.rank == 3 else 0)
+            if sub is None:
+                return "excluded"
+            total = yield from sub.allreduce(x, op=ADD)
+            return total
+
+        res = spmd_run(prog, [1] * 8, PARAMS)
+        assert res.values[3] == "excluded"
+        assert all(v == 7 for i, v in enumerate(res.values) if i != 3)
+
+    def test_singleton_groups(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm_split(comm, color=comm.rank)
+            out = yield from sub.allreduce(x, op=ADD)
+            return (sub.size, out)
+
+        res = spmd_run(prog, list(range(4)), PARAMS)
+        assert all(v == (1, r) for r, v in enumerate(res.values))
+
+    def test_group_context_validates_membership(self):
+        class FakeParent:
+            rank = 5
+            params = PARAMS
+
+        with pytest.raises(ValueError):
+            GroupContext(FakeParent(), [0, 1, 2])
+
+
+class TestNestedCollectives:
+    def test_reduce_root_is_group_leader(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm_split(comm, color=comm.rank // 4)
+            out = yield from sub.reduce(x, op=ADD, root=0)
+            return out
+
+        res = spmd_run(prog, [1] * 8, PARAMS)
+        # global ranks 0 and 4 are the group leaders
+        assert res.values[0] == 4 and res.values[4] == 4
+        assert all(res.values[i] is None for i in (1, 2, 3, 5, 6, 7))
+
+    def test_hierarchical_allreduce_from_two_splits(self):
+        """The cluster algorithm in six lines of user code."""
+        cluster = TwoLevelParams(p=16, ts=1000.0, tw=4.0, m=8, nodes=4,
+                                 cores=4, ts_intra=10.0, tw_intra=0.2)
+
+        def via_splits(comm: Comm, x):
+            node = comm.rank // 4
+            intra = yield from comm_split(comm, color=node)
+            partial = yield from intra.reduce(x, op=ADD, root=0)
+            leaders = yield from comm_split(
+                comm, color=0 if intra.rank == 0 else None)
+            if leaders is not None:
+                partial = yield from leaders.allreduce(partial, op=ADD)
+            out = yield from intra.bcast(partial, root=0)
+            return out
+
+        res = spmd_run(via_splits, list(range(16)), cluster)
+        assert all(v == sum(range(16)) for v in res.values)
+
+        # and it agrees with the dedicated hierarchical collective
+        def dedicated(ctx, x):
+            out = yield from allreduce_hierarchical(ctx, x, ADD)
+            return out
+
+        ref = run_spmd(dedicated, list(range(16)), cluster)
+        assert res.values == ref.values
+
+    def test_split_respects_two_level_links(self):
+        """Intra-node group collectives only touch fast links."""
+        cluster = TwoLevelParams(p=8, ts=1000.0, tw=4.0, m=8, nodes=2,
+                                 cores=4, ts_intra=10.0, tw_intra=0.2)
+
+        def intra_only(comm: Comm, x):
+            sub = yield from comm_split(comm, color=comm.rank // 4)
+            out = yield from sub.allreduce(x, op=ADD)
+            return out
+
+        res = spmd_run(intra_only, [1] * 8, cluster)
+        # the split itself (an allgather over all ranks) pays slow links,
+        # but the group allreduce is all intra-node: total stays far below
+        # one flat slow-network allreduce round-trip per phase
+        assert all(v == 4 for v in res.values)
+
+
+class TestSplitMethodOnBothFrontEnds:
+    def test_comm_split_method(self):
+        def prog(comm: Comm, x):
+            sub = yield from comm.split(color=comm.rank % 2)
+            out = yield from sub.allreduce(x, op=ADD)
+            return out
+
+        res = spmd_run(prog, [1] * 8, PARAMS)
+        assert all(v == 4 for v in res.values)
+
+    def test_threaded_split(self):
+        from repro.mpi.threaded import ThreadedComm, threaded_spmd_run
+
+        def prog(comm: ThreadedComm, x):
+            sub = comm.split(color=comm.rank // 2)
+            total = sub.allreduce(x, op=ADD)
+            everyone = sub.allgather(comm.rank)
+            return (total, everyone)
+
+        res = threaded_spmd_run(prog, [1] * 6, PARAMS.with_(p=6))
+        for r, (total, everyone) in enumerate(res.values):
+            assert total == 2
+            group = r // 2
+            assert everyone == [2 * group, 2 * group + 1]
+
+    def test_threaded_split_none_color(self):
+        from repro.mpi.threaded import threaded_spmd_run
+
+        def prog(comm, x):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if sub is None:
+                return "out"
+            return sub.allreduce(x, op=ADD)
+
+        res = threaded_spmd_run(prog, [1] * 4, PARAMS.with_(p=4))
+        assert res.values[0] == "out" and all(v == 3 for v in res.values[1:])
+
+    def test_nested_split(self):
+        """Split a split: quadrant groups from two halvings."""
+
+        def prog(comm: Comm, x):
+            half = yield from comm.split(color=comm.rank // 4)
+            quarter = yield from half.split(color=half.rank // 2)
+            out = yield from quarter.allgather(comm.rank)
+            return out
+
+        res = spmd_run(prog, list(range(8)), PARAMS)
+        assert res.values[0] == [0, 1]
+        assert res.values[2] == [2, 3]
+        assert res.values[5] == [4, 5]
+        assert res.values[7] == [6, 7]

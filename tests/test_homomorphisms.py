@@ -1,0 +1,96 @@
+"""List-homomorphism framework tests (semantics.homomorphisms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import MachineParams
+from repro.core.operators import check_associative
+from repro.machine import simulate_program
+from repro.semantics.functional import UNDEF
+from repro.semantics.homomorphisms import (
+    LENGTH,
+    MAX_SEGMENT_SUM,
+    SUM,
+    ListHomomorphism,
+    mss_direct,
+)
+
+INTS = st.lists(st.integers(-20, 20), min_size=1, max_size=24)
+
+
+class TestBasics:
+    def test_length(self):
+        assert LENGTH.apply([7, 8, 9]) == 3
+
+    def test_sum(self):
+        assert SUM.apply([1, 2, 3, 4]) == 10
+
+    def test_empty_needs_identity(self):
+        assert SUM.apply([]) == 0
+        no_id = ListHomomorphism("head", lambda x: x,
+                                 SUM.combine.__class__("first", lambda a, b: a))
+        with pytest.raises(ValueError):
+            no_id.apply([])
+
+    @given(INTS, INTS)
+    def test_promotion_property(self, xs, ys):
+        for h in (LENGTH, SUM, MAX_SEGMENT_SUM):
+            assert h.check_promotion(xs, ys)
+
+
+class TestMaxSegmentSum:
+    def test_known_cases(self):
+        assert MAX_SEGMENT_SUM.apply([1, -2, 3, 4, -1]) == 7
+        assert MAX_SEGMENT_SUM.apply([-1, -2, -3]) == 0  # empty segment
+        assert MAX_SEGMENT_SUM.apply([5]) == 5
+
+    @given(INTS)
+    @settings(max_examples=100)
+    def test_matches_kadane(self, xs):
+        assert MAX_SEGMENT_SUM.apply(xs) == mss_direct(xs)
+
+    def test_combine_is_associative(self):
+        import random
+
+        def gen(rng: random.Random):
+            return MAX_SEGMENT_SUM.prepare(rng.randint(-9, 9))
+
+        # associativity on reachable states (prepared singletons combined)
+        def gen_state(rng: random.Random):
+            s = gen(rng)
+            for _ in range(rng.randint(0, 3)):
+                s = MAX_SEGMENT_SUM.combine(s, gen(rng))
+            return s
+
+        check_associative(MAX_SEGMENT_SUM.combine, gen_state, trials=150)
+
+
+class TestToProgram:
+    @given(INTS)
+    @settings(max_examples=50)
+    def test_reduce_factorization(self, xs):
+        prog = MAX_SEGMENT_SUM.to_program()
+        out = prog.run(xs)
+        assert out[0] == mss_direct(xs)
+        assert all(v is UNDEF for v in out[1:])
+
+    @given(INTS)
+    @settings(max_examples=50)
+    def test_scan_factorization_gives_prefixes(self, xs):
+        prog = MAX_SEGMENT_SUM.to_program(prefixes=True)
+        out = prog.run(xs)
+        for i, v in enumerate(out):
+            assert v == mss_direct(xs[: i + 1])
+
+    def test_on_the_machine(self):
+        xs = [3, -5, 2, 2, 2, -1, 4, -10]
+        prog = MAX_SEGMENT_SUM.to_program()
+        params = MachineParams(p=len(xs), ts=100.0, tw=2.0, m=4)
+        sim = simulate_program(prog, xs, params)
+        assert sim.values[0] == mss_direct(xs)
+
+    def test_program_shape(self):
+        prog = SUM.to_program()
+        assert prog.pretty() == "map sum.prepare ; reduce (add) ; map sum.project"

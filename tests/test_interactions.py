@@ -1,0 +1,75 @@
+"""Rule-interaction explorer tests (the paper's §6 analysis, computed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interactions import (
+    COLLECTIVE_KINDS,
+    pair_matrix,
+    render_interactions,
+    triple_table,
+)
+
+
+class TestPairMatrix:
+    def test_paper_rule_pairs(self):
+        m = pair_matrix(extensions=False)
+        assert m[("bcast", "scan+")] == ["BS-Comcast"]
+        assert m[("bcast", "reduce+")] == ["BR-Local"]
+        assert m[("bcast", "allreduce+")] == ["CR-Alllocal"]
+        assert m[("scan+", "scan+")] == ["SS-Scan"]
+        assert m[("scan*", "scan+")] == ["SS2-Scan"]
+        assert m[("scan+", "reduce+")] == ["SR-Reduction"]
+        assert m[("scan*", "reduce+")] == ["SR2-Reduction"]
+
+    def test_dismissed_combinations_have_no_rule(self):
+        """The paper: some combinations 'can be dismissed as not useful' —
+        and indeed nothing fires on them."""
+        m = pair_matrix(extensions=True)
+        # after a reduce the non-root data is undefined: nothing can follow
+        assert m[("reduce+", "scan+")] == []
+        assert m[("reduce+", "reduce+")] == []
+        assert m[("allreduce+", "scan+")] == []
+        # scan+ then scan* lacks the distributivity (ADD over MUL)
+        assert m[("scan+", "scan*")] == []
+
+    def test_extensions_fill_the_bcast_column(self):
+        base = pair_matrix(extensions=False)
+        ext = pair_matrix(extensions=True)
+        for first in ("scan+", "reduce+", "allreduce+", "bcast"):
+            assert base[(first, "bcast")] == []
+            assert len(ext[(first, "bcast")]) == 1
+
+    def test_matrix_is_complete(self):
+        m = pair_matrix()
+        assert len(m) == len(COLLECTIVE_KINDS) ** 2
+
+
+class TestTripleTable:
+    def test_paper_triples_present(self):
+        t = triple_table(extensions=False)
+        assert t[("bcast", "scan+", "scan+")] == ["BSS-Comcast"]
+        assert t[("bcast", "scan*", "scan+")] == ["BSS2-Comcast"]
+        assert t[("bcast", "scan+", "reduce+")] == ["BSR-Local"]
+        assert t[("bcast", "scan*", "reduce+")] == ["BSR2-Local"]
+
+    def test_allreduce_variants_covered(self):
+        t = triple_table()
+        assert ("bcast", "scan+", "allreduce+") in t
+        assert ("bcast", "scan*", "allreduce+") in t
+
+    def test_no_spurious_triples(self):
+        """Every triple in the table starts with bcast (the paper's shapes)."""
+        for (a, _b, _c) in triple_table(extensions=False):
+            assert a == "bcast"
+
+
+class TestRendering:
+    def test_report_contains_matrix_and_triples(self):
+        text = render_interactions()
+        assert "BS-Comcast" in text
+        assert "Triples with a dedicated fusion" in text
+        assert "BSS2-Comcast" in text
+        # the dismissed cells render as '-'
+        assert "-" in text

@@ -1,0 +1,225 @@
+"""Tests for the mini MPI-like surface language (repro.lang)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import ADD, MUL
+from repro.core.optimizer import optimize
+from repro.core.cost import PARSYTEC_LIKE
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.lang import (
+    LexError,
+    ParseError,
+    parse_program,
+    to_mpi_text,
+    tokenize,
+)
+
+PAPER_SOURCE = """
+Program Example (x: input, v: output);
+y = f ( x );
+MPI_Scan (y, z, count1, type, op1, comm);
+MPI_Reduce (z, u, count2, type, op2, root, comm);
+v = g ( u );
+MPI_Bcast (v, count3, type, root, comm);
+"""
+
+ENV = {"f": (lambda a: 2 * a, 1), "g": (lambda a: a + 1, 1),
+       "op1": MUL, "op2": ADD}
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("a = f(x);")]
+        assert kinds == ["NAME", "EQUALS", "NAME", "LPAREN", "NAME",
+                         "RPAREN", "SEMI", "EOF"]
+
+    def test_positions(self):
+        toks = tokenize("ab\n cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 2)
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // comment\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_numbers(self):
+        toks = tokenize("MPI_Scan(y, z, 1024)")
+        assert toks[6].kind == "NUMBER" and toks[6].text == "1024"
+
+    def test_invalid_character(self):
+        with pytest.raises(LexError, match="line 1"):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_paper_example_structure(self):
+        decl = parse_program(PAPER_SOURCE)
+        assert decl.name == "Example"
+        assert decl.input_var == "x"
+        assert decl.output_var == "v"
+        kinds = [type(s).__name__ for s in decl.statements]
+        assert kinds == ["LocalStmt", "CollectiveStmt", "CollectiveStmt",
+                         "LocalStmt", "CollectiveStmt"]
+
+    def test_to_program_stage_kinds(self):
+        prog = parse_program(PAPER_SOURCE).to_program(ENV)
+        assert [type(s) for s in prog.stages] == [
+            MapStage, ScanStage, ReduceStage, MapStage, BcastStage,
+        ]
+        assert prog.stages[1].op is MUL
+        assert prog.stages[2].op is ADD
+
+    def test_program_runs(self):
+        prog = parse_program(PAPER_SOURCE).to_program(ENV)
+        out = prog.run([1, 2, 3, 4])
+        # f doubles: [2,4,6,8]; scan(*): [2,8,48,384]; reduce(+): 442; g: 443
+        assert out == [443, 443, 443, 443]
+
+    def test_shorthand_operator_position(self):
+        src = "Program P (x);\nMPI_Scan (x, y, myop);\n"
+        decl = parse_program(src)
+        assert decl.statements[0].op == "myop"
+
+    def test_allreduce_supported(self):
+        src = "Program P (x);\nMPI_Allreduce (x, y, op1);\n"
+        prog = parse_program(src).to_program({"op1": ADD})
+        assert isinstance(prog.stages[0], AllReduceStage)
+
+    def test_missing_program_keyword(self):
+        with pytest.raises(ParseError, match="Program"):
+            parse_program("Prog P (x);")
+
+    def test_dataflow_violation_detected(self):
+        src = """
+Program P (x);
+y = f ( x );
+MPI_Scan (x, z, op1);
+"""
+        with pytest.raises(ParseError, match="consumes 'x'"):
+            parse_program(src).to_program({"f": lambda a: a, "op1": ADD})
+
+    def test_output_var_mismatch_detected(self):
+        src = "Program P (x: input, v: output);\ny = f ( x );\n"
+        with pytest.raises(ParseError, match="output"):
+            parse_program(src).to_program({"f": lambda a: a})
+
+    def test_unknown_function(self):
+        src = "Program P (x);\ny = nosuch ( x );\n"
+        with pytest.raises(ParseError, match="unknown function"):
+            parse_program(src).to_program({})
+
+    def test_operator_must_be_binop(self):
+        src = "Program P (x);\nMPI_Scan (x, y, op1);\n"
+        with pytest.raises(ParseError, match="not a BinOp"):
+            parse_program(src).to_program({"op1": lambda a, b: a + b})
+
+    def test_bcast_requires_buffer(self):
+        with pytest.raises(ParseError):
+            parse_program("Program P (x);\nMPI_Bcast ();\n")
+
+    def test_collective_requires_two_buffers(self):
+        with pytest.raises(ParseError):
+            parse_program("Program P (x);\nMPI_Scan (x);\n")
+
+
+class TestPrinter:
+    def test_round_trip_reparses(self):
+        prog = parse_program(PAPER_SOURCE).to_program(ENV)
+        text = to_mpi_text(prog)
+        reparsed = parse_program(text).to_program(
+            {"f": ENV["f"], "g": ENV["g"], "mul": MUL, "add": ADD}
+        )
+        assert reparsed.pretty() == prog.pretty()
+        assert reparsed.run([1, 2, 3, 4]) == prog.run([1, 2, 3, 4])
+
+    def test_optimized_program_prints_rule_annotations(self):
+        prog = parse_program(PAPER_SOURCE).to_program(ENV)
+        res = optimize(prog, PARSYTEC_LIKE)
+        text = to_mpi_text(res.program)
+        assert "introduced by SR2-Reduction" in text
+        assert "op_sr2" in text
+
+    def test_balanced_collective_rendering(self):
+        from repro.core.derived_ops import SRTreeOp
+        from repro.core.stages import BalancedReduceStage
+
+        prog = Program([BalancedReduceStage(SRTreeOp(ADD))])
+        assert "MPI_Reduce_balanced" in to_mpi_text(prog)
+
+
+class TestRoundTripProperty:
+    """Random stage programs survive print → parse → print."""
+
+    from hypothesis import given, settings, strategies as st  # noqa: PLC0415
+
+    _OPS = {"add": None, "mul": None, "max": None, "min": None}
+
+    @staticmethod
+    def _env():
+        from repro.core.operators import ADD, MAX, MIN, MUL
+
+        return {"add": ADD, "mul": MUL, "max": MAX, "min": MIN,
+                "f": (lambda x: x, 0), "g": (lambda x: x, 0),
+                "h": (lambda x: x, 0)}
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_random_program_round_trips(self, data):
+        from hypothesis import strategies as st_
+
+        from repro.core.operators import ADD, MAX, MIN, MUL
+        from repro.core.stages import (
+            AllGatherStage,
+            AllReduceStage,
+            BcastStage,
+            GatherStage,
+            MapStage,
+            Program,
+            ReduceStage,
+            ScanStage,
+            ScatterStage,
+        )
+
+        ops = [ADD, MUL, MAX, MIN]
+        labels = iter(["f", "g", "h"])
+        stages = []
+        n = data.draw(st_.integers(1, 6))
+        for _ in range(n):
+            kind = data.draw(st_.sampled_from(
+                ["map", "scan", "reduce", "allreduce", "bcast",
+                 "allgather", "scatter", "gather"]))
+            if kind == "map":
+                try:
+                    stages.append(MapStage(lambda x: x, label=next(labels)))
+                except StopIteration:
+                    stages.append(BcastStage())
+            elif kind == "scan":
+                stages.append(ScanStage(data.draw(st_.sampled_from(ops))))
+            elif kind == "reduce":
+                stages.append(ReduceStage(data.draw(st_.sampled_from(ops))))
+            elif kind == "allreduce":
+                stages.append(AllReduceStage(data.draw(st_.sampled_from(ops))))
+            elif kind == "allgather":
+                stages.append(AllGatherStage())
+            elif kind == "scatter":
+                stages.append(ScatterStage())
+            elif kind == "gather":
+                stages.append(GatherStage())
+            else:
+                stages.append(BcastStage())
+        prog = Program(stages, name="RT")
+
+        text = to_mpi_text(prog)
+        reparsed = parse_program(text).to_program(self._env())
+        assert reparsed.pretty() == prog.pretty()
+        # and printing again is a fixed point
+        assert to_mpi_text(reparsed) == text

@@ -1,0 +1,168 @@
+"""Tests for the mpi4py-style Comm front end (repro.mpi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, MAX, MUL
+from repro.mpi import Comm, spmd_run
+
+PARAMS = MachineParams(p=8, ts=10.0, tw=1.0, m=4)
+SIZES = [1, 2, 3, 4, 6, 8, 13, 16]
+
+
+class TestIntrospection:
+    def test_rank_and_size(self):
+        def prog(comm: Comm, x):
+            return (comm.rank, comm.size, comm.get_rank(), comm.get_size())
+            yield  # pragma: no cover
+
+        res = spmd_run(prog, [None] * 4, PARAMS)
+        assert res.values == ((0, 4, 0, 4), (1, 4, 1, 4), (2, 4, 2, 4), (3, 4, 3, 4))
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def prog(comm: Comm, x):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            if comm.rank % 2 == 0:
+                yield from comm.send(x, dest=right)
+                got = yield from comm.recv(source=left)
+            else:
+                got = yield from comm.recv(source=left)
+                yield from comm.send(x, dest=right)
+            return got
+
+        res = spmd_run(prog, list(range(4)), PARAMS)
+        assert res.values == (3, 0, 1, 2)
+
+    def test_sendrecv(self):
+        def prog(comm: Comm, x):
+            other = yield from comm.sendrecv(x, dest=comm.rank ^ 1)
+            return other
+
+        res = spmd_run(prog, ["a", "b"], PARAMS)
+        assert res.values == ("b", "a")
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_bcast(self, p):
+        def prog(comm: Comm, x):
+            v = yield from comm.bcast(x, root=0)
+            return v
+
+        res = spmd_run(prog, ["root"] + ["junk"] * (p - 1), PARAMS)
+        assert all(v == "root" for v in res.values)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_inclusive(self, p):
+        def prog(comm: Comm, x):
+            v = yield from comm.scan(x, op=CONCAT)
+            return v
+
+        letters = [chr(97 + i % 26) for i in range(p)]
+        res = spmd_run(prog, letters, PARAMS)
+        assert list(res.values) == ["".join(letters[: i + 1]) for i in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exscan(self, p):
+        def prog(comm: Comm, x):
+            v = yield from comm.exscan(x, op=ADD)
+            return v
+
+        res = spmd_run(prog, list(range(1, p + 1)), PARAMS)
+        expected = [sum(range(1, i + 1)) for i in range(p)]
+        assert list(res.values) == expected
+
+    def test_exscan_needs_identity(self):
+        def prog(comm: Comm, x):
+            v = yield from comm.exscan(x, op=MAX)
+            return v
+
+        with pytest.raises(ValueError):
+            spmd_run(prog, [1, 2], PARAMS)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_root_gets_value_others_none(self, p):
+        def prog(comm: Comm, x):
+            v = yield from comm.reduce(x, op=ADD, root=0)
+            return v
+
+        res = spmd_run(prog, [1] * p, PARAMS)
+        assert res.values[0] == p
+        assert all(v is None for v in res.values[1:])
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce(self, p):
+        def prog(comm: Comm, x):
+            v = yield from comm.allreduce(x, op=MUL)
+            return v
+
+        res = spmd_run(prog, [2] * p, PARAMS)
+        assert all(v == 2**p for v in res.values)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_gather_scatter_allgather(self, p):
+        def prog(comm: Comm, x):
+            mine = yield from comm.scatter(x, root=0)
+            everyone = yield from comm.allgather(mine)
+            back = yield from comm.gather(mine, root=0)
+            return (mine, everyone, back)
+
+        data = [i * 11 for i in range(p)]
+        res = spmd_run(prog, [data] + [None] * (p - 1), PARAMS)
+        for rank, (mine, everyone, back) in enumerate(res.values):
+            assert mine == data[rank]
+            assert everyone == data
+            assert back == (data if rank == 0 else None)
+
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm: Comm, x):
+            yield from comm._ctx.compute(100 * comm.rank)
+            yield from comm.barrier()
+            return None
+
+        res = spmd_run(prog, [None] * 4, PARAMS)
+        # after the barrier every clock is at least the slowest pre-barrier one
+        assert min(res.stats.clocks) >= 300
+
+    def test_nonzero_root_reduce_unsupported(self):
+        def prog(comm: Comm, x):
+            v = yield from comm.reduce(x, op=ADD, root=1)
+            return v
+
+        with pytest.raises(NotImplementedError):
+            spmd_run(prog, [1, 2], PARAMS)
+
+
+class TestPaperExampleInMpiStyle:
+    def test_example_program_hand_written(self):
+        """The paper's Example, written directly against the Comm API."""
+
+        def example(comm: Comm, x):
+            y = 2 * x                                   # y = f(x)
+            z = yield from comm.scan(y, op=MUL)          # MPI_Scan
+            u = yield from comm.reduce(z, op=ADD)        # MPI_Reduce
+            v = (u + 1) if comm.rank == 0 else None      # v = g(u) at root
+            v = yield from comm.bcast(v, root=0)         # MPI_Bcast
+            return v
+
+        xs = [1, 2, 3, 4]
+        res = spmd_run(example, xs, PARAMS)
+        ys = [2 * x for x in xs]
+        scans = [ys[0]]
+        for y in ys[1:]:
+            scans.append(scans[-1] * y)
+        expected = sum(scans) + 1
+        assert all(v == expected for v in res.values)
+
+    def test_default_params_inferred(self):
+        def prog(comm: Comm, x):
+            v = yield from comm.allreduce(x, op=ADD)
+            return v
+
+        res = spmd_run(prog, [1, 2, 3])
+        assert all(v == 6 for v in res.values)

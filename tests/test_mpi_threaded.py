@@ -1,0 +1,162 @@
+"""Threaded blocking MPI facade tests (repro.mpi.threaded).
+
+The key property: the blocking front end reuses the simulator's
+collective algorithms, so it must agree with the cooperative engine on
+*results and virtual times* for the same program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, MUL
+from repro.machine.engine import DeadlockError
+from repro.mpi import Comm, spmd_run
+from repro.mpi.threaded import ThreadedComm, threaded_spmd_run
+
+PARAMS = MachineParams(p=8, ts=100.0, tw=2.0, m=16)
+SIZES = [1, 2, 3, 4, 6, 8, 13]
+
+
+class TestBlockingCollectives:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_noncommutative(self, p):
+        def prog(comm: ThreadedComm, x):
+            return comm.scan(x, op=CONCAT)
+
+        letters = [chr(97 + i % 26) for i in range(p)]
+        res = threaded_spmd_run(prog, letters, PARAMS)
+        assert list(res.values) == ["".join(letters[: i + 1]) for i in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_bcast_pipeline(self, p):
+        def prog(comm: ThreadedComm, x):
+            total = comm.reduce(x, op=ADD, root=0)
+            return comm.bcast(total if comm.rank == 0 else None, root=0)
+
+        res = threaded_spmd_run(prog, [1] * p, PARAMS)
+        assert all(v == p for v in res.values)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce_allgather(self, p):
+        def prog(comm: ThreadedComm, x):
+            s = comm.allreduce(x, op=ADD)
+            everyone = comm.allgather(x)
+            return (s, everyone)
+
+        res = threaded_spmd_run(prog, list(range(p)), PARAMS)
+        want_sum = sum(range(p))
+        for s, everyone in res.values:
+            assert s == want_sum
+            assert everyone == list(range(p))
+
+    def test_scatter_gather(self):
+        def prog(comm: ThreadedComm, x):
+            mine = comm.scatter(x, root=0)
+            return comm.gather(mine, root=0)
+
+        data = [i * 3 for i in range(6)]
+        res = threaded_spmd_run(prog, [data] + [None] * 5, PARAMS)
+        assert res.values[0] == data
+        assert all(v is None for v in res.values[1:])
+
+    def test_point_to_point_ring(self):
+        def prog(comm: ThreadedComm, x):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            if comm.rank % 2 == 0:
+                comm.send(x, dest=right)
+                return comm.recv(source=left)
+            got = comm.recv(source=left)
+            comm.send(x, dest=right)
+            return got
+
+        res = threaded_spmd_run(prog, list(range(4)), PARAMS)
+        assert res.values == (3, 0, 1, 2)
+
+    def test_barrier_and_compute(self):
+        def prog(comm: ThreadedComm, x):
+            comm.compute(50 * (comm.rank + 1))
+            comm.barrier()
+            return None
+
+        res = threaded_spmd_run(prog, [None] * 4, PARAMS)
+        assert min(res.stats.clocks) >= 200
+
+
+class TestAgreementWithCooperativeEngine:
+    """Blocking and generator front ends: same results, same virtual time."""
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_example_program_times_match(self, p):
+        params = MachineParams(p=p, ts=123.0, tw=3.0, m=32)
+
+        def blocking(comm: ThreadedComm, x):
+            y = 2 * x
+            z = comm.scan(y, op=MUL)
+            u = comm.reduce(z, op=ADD)
+            v = (u + 1) if comm.rank == 0 else None
+            return comm.bcast(v, root=0)
+
+        def cooperative(comm: Comm, x):
+            y = 2 * x
+            z = yield from comm.scan(y, op=MUL)
+            u = yield from comm.reduce(z, op=ADD)
+            v = (u + 1) if comm.rank == 0 else None
+            v = yield from comm.bcast(v, root=0)
+            return v
+
+        xs = list(range(1, p + 1))
+        a = threaded_spmd_run(blocking, xs, params)
+        b = spmd_run(cooperative, xs, params)
+        assert a.values == b.values
+        assert a.time == pytest.approx(b.time)
+        assert a.stats.messages == b.stats.messages
+        assert a.stats.words == pytest.approx(b.stats.words)
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def prog(comm: ThreadedComm, x):
+            # both ranks receive: classic deadlock
+            return comm.recv(source=1 - comm.rank)
+
+        with pytest.raises(DeadlockError):
+            threaded_spmd_run(prog, [0, 0], PARAMS)
+
+    def test_user_exception_propagates(self):
+        def prog(comm: ThreadedComm, x):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return x
+
+        with pytest.raises(RuntimeError, match="boom"):
+            threaded_spmd_run(prog, [0, 0, 0], PARAMS)
+
+    def test_partner_crash_surfaces_as_error(self):
+        def prog(comm: ThreadedComm, x):
+            if comm.rank == 0:
+                raise RuntimeError("rank 0 died")
+            return comm.recv(source=0)  # never satisfied
+
+        with pytest.raises((RuntimeError, DeadlockError)):
+            threaded_spmd_run(prog, [0, 0], PARAMS)
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(ValueError):
+            threaded_spmd_run(lambda comm, x: x, [], PARAMS)
+
+    def test_invalid_destination(self):
+        def prog(comm: ThreadedComm, x):
+            comm.send(x, dest=99)
+
+        with pytest.raises(ValueError):
+            threaded_spmd_run(prog, [0, 0], PARAMS)
+
+    def test_default_params(self):
+        def prog(comm: ThreadedComm, x):
+            return comm.allreduce(x, op=ADD)
+
+        res = threaded_spmd_run(prog, [1, 2, 3])
+        assert all(v == 6 for v in res.values)

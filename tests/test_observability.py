@@ -1,0 +1,124 @@
+"""Observability: probes, stage breakdown, markdown derivation reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.derivation_doc import derivation_markdown
+from repro.apps import build_example
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import ADD
+from repro.core.optimizer import optimize
+from repro.core.stages import BcastStage, Program, ScanStage
+from repro.machine.engine import run_spmd
+from repro.machine.run import StageTiming, stage_breakdown
+
+PARAMS = MachineParams(p=8, ts=100.0, tw=2.0, m=16)
+
+
+class TestProbe:
+    def test_probe_records_clock(self):
+        def prog(ctx, x):
+            yield from ctx.compute(25)
+            yield from ctx.probe("mid")
+            yield from ctx.compute(10)
+            return None
+
+        res = run_spmd(prog, [0, 0], PARAMS)
+        records = sorted(res.stats.timeline)
+        assert records == [(0, "mid", 25.0), (1, "mid", 25.0)]
+
+    def test_probe_costs_nothing(self):
+        def with_probe(ctx, x):
+            yield from ctx.probe(1)
+            yield from ctx.probe(2)
+            return x
+
+        res = run_spmd(with_probe, [7], PARAMS)
+        assert res.time == 0.0
+
+
+class TestStageBreakdown:
+    def test_durations_sum_to_makespan(self):
+        prog = build_example()
+        res, timings = stage_breakdown(prog, list(range(1, 9)), PARAMS)
+        assert sum(t.duration for t in timings) == pytest.approx(res.time)
+        assert timings[-1].end == pytest.approx(res.time)
+
+    def test_stage_durations_match_stage_costs(self):
+        """Each collective stage's duration equals its model cost."""
+        from repro.core.cost import stage_cost
+
+        prog = Program([BcastStage(), ScanStage(ADD)])
+        _res, timings = stage_breakdown(prog, [1] * 8, PARAMS)
+        for stage, timing in zip(prog.stages, timings):
+            assert timing.duration == pytest.approx(stage_cost(stage, PARAMS))
+
+    def test_labels_present(self):
+        prog = Program([ScanStage(ADD)])
+        _res, timings = stage_breakdown(prog, [1, 2], PARAMS)
+        assert timings[0].pretty == "scan (add)"
+        assert isinstance(timings[0], StageTiming)
+
+
+class TestDerivationMarkdown:
+    def test_report_structure(self):
+        res = optimize(build_example(), PARAMS)
+        md = derivation_markdown(res)
+        assert md.startswith("# Optimization report")
+        assert "SR2-Reduction" in md
+        assert "```" in md and "MPI_Reduce" in md
+        assert "speedup" in md
+
+    def test_per_step_costs_listed(self):
+        res = optimize(build_example(), PARAMS)
+        md = derivation_markdown(res)
+        # initial cost and each rewritten program cost appear
+        assert f"{res.cost_before:.1f}" in md
+        assert f"{res.cost_after:.1f}" in md
+
+    def test_timing_table_with_inputs(self):
+        res = optimize(build_example(), PARAMS)
+        md = derivation_markdown(res, inputs=list(range(1, 9)))
+        assert "Simulated per-stage timing" in md
+        assert "| cumulative |" in md
+
+    def test_no_steps_report(self):
+        prog = Program([BcastStage()])
+        res = optimize(prog, PARAMS)
+        md = derivation_markdown(res)
+        assert "speedup 1.00" in md
+
+
+class TestCommGantt:
+    def test_gantt_renders_all_ranks(self):
+        from repro.analysis.gantt import comm_gantt
+        from repro.machine import simulate_program
+
+        sim = simulate_program(build_example(), list(range(1, 9)), PARAMS)
+        chart = comm_gantt(sim, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # 8 ranks + time axis
+        assert all(l.startswith("rank") for l in lines[:-1])
+        assert "#" in chart
+
+    def test_gantt_events_recorded(self):
+        from repro.machine import simulate_program
+
+        sim = simulate_program(build_example(), list(range(1, 9)), PARAMS)
+        # bcast(7 msgs) + scan(3 phases x 8 sendrecvs=24... counted per dir)
+        assert len(sim.stats.events) == sim.stats.messages
+        for src, dst, end, words in sim.stats.events:
+            assert 0 <= src < 8 and 0 <= dst < 8
+            assert 0 < end <= sim.time
+            assert words >= 0
+
+    def test_gantt_width_validation(self):
+        import pytest as _pytest
+
+        from repro.analysis.gantt import comm_gantt
+        from repro.machine import simulate_program
+
+        sim = simulate_program(build_example(), list(range(1, 9)), PARAMS)
+        with _pytest.raises(ValueError):
+            comm_gantt(sim, width=5)

@@ -1,0 +1,168 @@
+"""Unit and property tests for the operator algebra (core.operators)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.operators import (
+    ADD,
+    AND,
+    BinOp,
+    CONCAT,
+    MATADD2,
+    MATMUL2,
+    MAX,
+    MIN,
+    MUL,
+    OR,
+    STANDARD_OPS,
+    XOR,
+    OpPropertyError,
+    check_associative,
+    check_commutative,
+    check_distributes,
+    declare_distributes,
+    distributes_over,
+    mod_add,
+    mod_mul,
+    verify_op,
+)
+from helpers import int_gen, mat_gen, str_gen
+
+
+class TestBinOpBasics:
+    def test_call_applies_function(self):
+        assert ADD(2, 3) == 5
+        assert MUL(2, 3) == 6
+        assert CONCAT("ab", "cd") == "abcd"
+
+    def test_repr_contains_name(self):
+        assert "add" in repr(ADD)
+
+    def test_fold_left_associates(self):
+        assert CONCAT.fold(["a", "b", "c"]) == "abc"
+        assert ADD.fold([1, 2, 3, 4]) == 10
+
+    def test_fold_singleton(self):
+        assert ADD.fold([7]) == 7
+
+    def test_fold_empty_with_identity(self):
+        assert ADD.fold([]) == 0
+        assert MUL.fold([]) == 1
+
+    def test_fold_empty_without_identity_raises(self):
+        with pytest.raises(ValueError):
+            MAX.fold([])
+
+    def test_power_repeated_squaring(self):
+        assert ADD.power(3, 5) == 15
+        assert MUL.power(2, 10) == 1024
+        assert CONCAT.power("ab", 3) == "ababab"
+
+    def test_power_one_is_value(self):
+        assert ADD.power(11, 1) == 11
+
+    def test_power_zero_needs_identity(self):
+        assert ADD.power(3, 0) == 0
+        with pytest.raises(ValueError):
+            MAX.power(3, 0)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ADD.power(3, -1)
+
+    @given(st.integers(-20, 20), st.integers(1, 64))
+    def test_power_matches_fold(self, x, n):
+        assert ADD.power(x, n) == ADD.fold([x] * n)
+
+    @given(st.integers(1, 6))
+    def test_matrix_power_matches_fold(self, n):
+        m = ((1, 1), (0, 1))
+        assert MATMUL2.power(m, n) == MATMUL2.fold([m] * n)
+
+
+class TestPropertyCheckers:
+    def test_standard_ops_verify_their_declarations(self):
+        gens = {
+            "add": int_gen, "mul": int_gen, "max": int_gen, "min": int_gen,
+            "concat": str_gen, "matmul2": mat_gen, "matadd2": mat_gen,
+            "and": lambda r: r.random() < 0.5,
+            "or": lambda r: r.random() < 0.5,
+            "xor": lambda r: r.random() < 0.5,
+            "fadd": int_gen, "fmul": int_gen,
+        }
+        for op in STANDARD_OPS:
+            verify_op(op, gens[op.name], trials=50)
+
+    def test_nonassociative_detected(self):
+        bad = BinOp("sub", lambda a, b: a - b, associative=True)
+        with pytest.raises(OpPropertyError):
+            check_associative(bad, int_gen, trials=50)
+
+    def test_noncommutative_detected(self):
+        with pytest.raises(OpPropertyError):
+            check_commutative(CONCAT, str_gen, trials=100)
+
+    def test_matmul_not_commutative(self):
+        with pytest.raises(OpPropertyError):
+            check_commutative(MATMUL2, mat_gen, trials=200)
+
+    def test_distributivity_holds_for_mul_add(self):
+        check_distributes(MUL, ADD, int_gen, trials=100)
+
+    def test_distributivity_holds_for_add_max(self):
+        check_distributes(ADD, MAX, int_gen, trials=100)
+
+    def test_distributivity_holds_for_matmul_matadd(self):
+        check_distributes(MATMUL2, MATADD2, mat_gen, trials=50)
+
+    def test_distributivity_fails_for_add_mul(self):
+        # + does NOT distribute over *
+        with pytest.raises(OpPropertyError):
+            check_distributes(ADD, MUL, int_gen, trials=100)
+
+    def test_bad_identity_detected(self):
+        bad = BinOp("add", lambda a, b: a + b, identity=1, has_identity=True)
+        with pytest.raises(OpPropertyError):
+            verify_op(bad, int_gen, trials=20)
+
+
+class TestDistributivityRegistry:
+    def test_declared_pairs_present(self):
+        assert distributes_over(MUL, ADD)
+        assert distributes_over(ADD, MAX)
+        assert distributes_over(ADD, MIN)
+        assert distributes_over(AND, OR)
+        assert distributes_over(AND, XOR)
+        assert distributes_over(MATMUL2, MATADD2)
+
+    def test_undeclared_pairs_absent(self):
+        assert not distributes_over(ADD, MUL)
+        assert not distributes_over(MAX, ADD)
+        assert not distributes_over(CONCAT, ADD)
+
+    def test_declare_new_pair(self):
+        a = BinOp("test_otimes_xyz", lambda x, y: x)
+        b = BinOp("test_oplus_xyz", lambda x, y: y)
+        assert not distributes_over(a, b)
+        declare_distributes(a, b)
+        assert distributes_over(a, b)
+
+
+class TestModularRings:
+    @given(st.integers(0, 96), st.integers(0, 96), st.integers(0, 96))
+    def test_mod_ring_distributes(self, a, b, c):
+        am, mm = mod_add(97), mod_mul(97)
+        assert mm(a, am(b, c)) == am(mm(a, b), mm(a, c))
+
+    def test_mod_identities(self):
+        assert mod_add(7).identity == 0
+        assert mod_mul(7).identity == 1
+        assert mod_mul(1).identity == 0  # degenerate ring
+
+    @given(st.integers(2, 50))
+    def test_mod_add_verifies(self, modulus):
+        verify_op(mod_add(modulus), lambda r: r.randint(0, modulus - 1), trials=20)

@@ -1,0 +1,118 @@
+"""Case study tests: polynomial evaluation (paper Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.polyeval import (
+    VADD,
+    VMUL,
+    build_polyeval_1,
+    build_polyeval_3,
+    derive_polyeval_2,
+    poly_eval_direct,
+    polyeval_input,
+)
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import distributes_over
+from repro.core.stages import ComcastStage, Map2Stage
+from repro.machine import simulate_program
+
+
+def close(a, b):
+    return all(abs(x - y) <= 1e-9 * max(1.0, abs(x), abs(y)) for x, y in zip(a, b))
+
+
+COEFFS = [2.0, -1.0, 0.5, 3.0, 1.0, -2.0, 0.25, 4.0]
+POINTS = [1.5, 2.0, -0.5, 3.0]
+
+
+class TestOracle:
+    def test_direct_small(self):
+        # 2y + 3y^2 on y = 2 -> 4 + 12 = 16
+        assert poly_eval_direct([2, 3], [2]) == (16,)
+
+    def test_no_constant_term(self):
+        # the paper's polynomial starts at a1*y: p(0) = 0
+        assert poly_eval_direct([5, 7, 9], [0]) == (0,)
+
+    @given(st.lists(st.integers(-3, 3), min_size=1, max_size=6),
+           st.integers(-3, 3))
+    def test_direct_matches_sum(self, coeffs, y):
+        want = sum(a * y ** (i + 1) for i, a in enumerate(coeffs))
+        assert poly_eval_direct(coeffs, [y]) == (want,)
+
+
+class TestVectorOps:
+    def test_vmul_distributes_over_vadd_registered(self):
+        assert distributes_over(VMUL, VADD)
+
+    def test_elementwise(self):
+        assert VMUL((1, 2), (3, 4)) == (3, 8)
+        assert VADD((1, 2), (3, 4)) == (4, 6)
+
+
+class TestThreeVersionsAgree:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 8, 13])
+    def test_all_versions_match_oracle(self, p):
+        coeffs = [((i * 3) % 7) - 3.0 for i in range(p)]
+        xs = polyeval_input(POINTS, p)
+        oracle = poly_eval_direct(coeffs, POINTS)
+        for prog in (
+            build_polyeval_1(coeffs),
+            derive_polyeval_2(coeffs, p=p),
+            build_polyeval_3(coeffs, p=p),
+        ):
+            out = prog.run(xs)
+            assert close(out[0], oracle), f"{prog.name} wrong at p={p}"
+
+    def test_polyeval_2_contains_comcast(self):
+        prog = derive_polyeval_2(COEFFS, p=8)
+        assert any(isinstance(s, ComcastStage) for s in prog.stages)
+        assert prog.name == "PolyEval_2"
+
+    def test_polyeval_3_fused_single_local_stage(self):
+        prog = build_polyeval_3(COEFFS, p=8)
+        # bcast ; map2# (fused) ; reduce — exactly one local stage
+        locals_ = [s for s in prog.stages if not s.is_collective]
+        assert len(locals_) == 1
+        assert isinstance(locals_[0], Map2Stage) and locals_[0].indexed
+
+    @given(data=st.data(), p=st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_random_polynomials(self, data, p):
+        coeffs = [data.draw(st.integers(-4, 4)) for _ in range(p)]
+        points = [data.draw(st.integers(-3, 3)) for _ in range(3)]
+        xs = polyeval_input(points, p)
+        oracle = poly_eval_direct(coeffs, points)
+        for prog in (build_polyeval_1(coeffs), derive_polyeval_2(coeffs, p=p),
+                     build_polyeval_3(coeffs, p=p)):
+            assert tuple(prog.run(xs)[0]) == oracle
+
+
+class TestOnTheMachine:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_simulated_results_and_speedup(self, p):
+        coeffs = COEFFS[:p]
+        xs = polyeval_input(POINTS, p)
+        oracle = poly_eval_direct(coeffs, POINTS)
+        params = MachineParams(p=p, ts=600.0, tw=2.0, m=len(POINTS))
+        t1 = simulate_program(build_polyeval_1(coeffs), xs, params)
+        t2 = simulate_program(derive_polyeval_2(coeffs, p=p), xs, params)
+        t3 = simulate_program(build_polyeval_3(coeffs, p=p), xs, params)
+        for sim in (t1, t2, t3):
+            assert close(sim.values[0], oracle)
+        if p > 1:
+            # BS-Comcast "always improves": versions 2/3 beat version 1
+            assert t2.time < t1.time
+            assert t3.time <= t2.time + 1e-9
+
+    def test_model_cost_agrees_with_simulation(self):
+        p = 8
+        coeffs = COEFFS[:p]
+        xs = polyeval_input(POINTS, p)
+        params = MachineParams(p=p, ts=600.0, tw=2.0, m=len(POINTS))
+        for prog in (build_polyeval_1(coeffs), derive_polyeval_2(coeffs, p=p)):
+            sim = simulate_program(prog, xs, params)
+            assert sim.time == pytest.approx(program_cost(prog, params))

@@ -1,0 +1,111 @@
+"""Linear-recurrence application tests (apps.recurrences)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.recurrences import (
+    AFFINE,
+    FIB_MATRIX,
+    affine_recurrence_program,
+    compose_affine,
+    fibonacci_direct,
+    fibonacci_program,
+    solve_affine_recurrence,
+)
+from repro.core.cost import MachineParams
+from repro.core.operators import check_associative
+from repro.core.optimizer import optimize
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.stages import ComcastStage
+from repro.machine import simulate_program
+from repro.semantics.functional import defined_equal
+
+
+class TestAffineOperator:
+    def test_composition_order(self):
+        # (a,b)=(2,1) then (3,5): x -> 3*(2x+1)+5 = 6x + 8
+        assert compose_affine((2, 1), (3, 5)) == (6, 8)
+
+    def test_identity(self):
+        assert AFFINE((1, 0), (4, 7)) == (4, 7)
+        assert AFFINE((4, 7), (1, 0)) == (4, 7)
+
+    def test_associative_not_commutative(self):
+        import random
+
+        def gen(rng: random.Random):
+            return (rng.randint(-4, 4), rng.randint(-4, 4))
+
+        check_associative(AFFINE, gen, trials=200)
+        assert AFFINE((2, 0), (0, 1)) != AFFINE((0, 1), (2, 0))
+
+
+class TestAffineRecurrence:
+    def test_oracle(self):
+        # x0=1: x1 = 2*1+1 = 3; x2 = 3*3+0 = 9
+        assert solve_affine_recurrence([2, 3], [1, 0], 1) == [3, 9]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_affine_recurrence([1], [1, 2], 0)
+
+    @given(
+        data=st.data(),
+        n=st.integers(1, 20),
+        x0=st.integers(-5, 5),
+    )
+    @settings(max_examples=40)
+    def test_program_matches_oracle(self, data, n, x0):
+        a = [data.draw(st.integers(-3, 3)) for _ in range(n)]
+        b = [data.draw(st.integers(-3, 3)) for _ in range(n)]
+        prog = affine_recurrence_program(x0)
+        got = prog.run(list(zip(a, b)))
+        assert got == solve_affine_recurrence(a, b, x0)
+
+    def test_on_machine(self):
+        a, b, x0 = [2, -1, 3, 1, 1, -2, 4, 2], [1, 0, -1, 2, 5, 1, 0, 3], 2
+        prog = affine_recurrence_program(x0)
+        params = MachineParams(p=8, ts=100.0, tw=2.0, m=16)
+        sim = simulate_program(prog, list(zip(a, b)), params)
+        assert list(sim.values) == solve_affine_recurrence(a, b, x0)
+
+
+class TestFibonacci:
+    def test_direct(self):
+        assert [fibonacci_direct(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+        with pytest.raises(ValueError):
+            fibonacci_direct(-1)
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 16, 30])
+    def test_program_yields_fibonacci(self, p):
+        prog = fibonacci_program()
+        xs = [FIB_MATRIX] + [None] * (p - 1)
+        got = prog.run(xs)
+        assert got == [fibonacci_direct(i + 1) for i in range(p)]
+
+    def test_bs_comcast_applies_to_matrices(self):
+        """BS-Comcast needs no commutativity — it fires on MATMUL2."""
+        prog = fibonacci_program()
+        p = 16
+        ms = [m for m in find_matches(prog, p=p) if m.rule.name == "BS-Comcast"]
+        assert ms
+        fused, _ = apply_match(prog, ms[0], p=p)
+        assert isinstance(fused.stages[0], ComcastStage)
+        xs = [FIB_MATRIX] + [None] * (p - 1)
+        assert defined_equal(prog.run(xs), fused.run(xs))
+
+    def test_optimizer_speeds_up_fibonacci(self):
+        prog = fibonacci_program()
+        p = 32
+        params = MachineParams(p=p, ts=600.0, tw=2.0, m=1)
+        res = optimize(prog, params)
+        assert "BS-Comcast" in res.derivation.rules_used
+        xs = [FIB_MATRIX] + [None] * (p - 1)
+        t0 = simulate_program(prog, xs, params).time
+        t1 = simulate_program(res.program, xs, params).time
+        assert t1 < t0
+        assert list(simulate_program(res.program, xs, params).values) == [
+            fibonacci_direct(i + 1) for i in range(p)
+        ]

@@ -1,0 +1,216 @@
+"""Rule matching: shape checks, side conditions, and refusal cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import ADD, CONCAT, MAX, MUL
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.rules import ALL_RULES, rule_by_name
+from repro.core.stages import (
+    AllReduceStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+
+def names(matches):
+    return sorted(m.rule.name for m in matches)
+
+
+class TestMatchingShapes:
+    def test_scan_mul_reduce_add_matches_sr2_and_bsr_chain(self):
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        assert names(find_matches(prog)) == ["SR2-Reduction"]
+
+    def test_scan_add_reduce_add_matches_sr(self):
+        prog = Program([ScanStage(ADD), ReduceStage(ADD)])
+        assert names(find_matches(prog)) == ["SR-Reduction"]
+
+    def test_two_scans_same_op(self):
+        prog = Program([ScanStage(ADD), ScanStage(ADD)])
+        assert names(find_matches(prog)) == ["SS-Scan"]
+
+    def test_two_scans_distributive(self):
+        prog = Program([ScanStage(MUL), ScanStage(ADD)])
+        assert names(find_matches(prog)) == ["SS2-Scan"]
+
+    def test_bcast_scan(self):
+        prog = Program([BcastStage(), ScanStage(ADD)])
+        assert names(find_matches(prog)) == ["BS-Comcast"]
+
+    def test_bcast_scan_scan_triple_and_pairs(self):
+        prog = Program([BcastStage(), ScanStage(ADD), ScanStage(ADD)])
+        assert names(find_matches(prog)) == ["BS-Comcast", "BSS-Comcast", "SS-Scan"]
+
+    def test_bcast_scan_reduce(self):
+        prog = Program([BcastStage(), ScanStage(MUL), ReduceStage(ADD)])
+        assert names(find_matches(prog)) == [
+            "BS-Comcast", "BSR2-Local", "SR2-Reduction",
+        ]
+
+    def test_bcast_reduce(self):
+        prog = Program([BcastStage(), ReduceStage(ADD)])
+        assert names(find_matches(prog)) == ["BR-Local"]
+
+    def test_bcast_allreduce(self):
+        prog = Program([BcastStage(), AllReduceStage(MAX)])
+        assert names(find_matches(prog)) == ["CR-Alllocal"]
+
+    def test_local_stage_blocks_window(self):
+        prog = Program([ScanStage(MUL), MapStage(lambda x: x), ReduceStage(ADD)])
+        assert find_matches(prog) == []
+
+    def test_matches_at_any_offset(self):
+        prog = Program([MapStage(lambda x: x), ScanStage(MUL), ReduceStage(ADD)])
+        ms = find_matches(prog)
+        assert names(ms) == ["SR2-Reduction"]
+        assert ms[0].start == 1
+
+
+class TestSideConditions:
+    def test_sr_requires_commutativity(self):
+        prog = Program([ScanStage(CONCAT), ReduceStage(CONCAT)])
+        assert find_matches(prog) == []
+
+    def test_ss_requires_commutativity(self):
+        prog = Program([ScanStage(CONCAT), ScanStage(CONCAT)])
+        assert find_matches(prog) == []
+
+    def test_sr2_requires_distributivity(self):
+        # + does not distribute over * — no rule fires
+        prog = Program([ScanStage(ADD), ReduceStage(MUL)])
+        assert find_matches(prog) == []
+
+    def test_bss_requires_commutativity(self):
+        prog = Program([BcastStage(), ScanStage(CONCAT), ScanStage(CONCAT)])
+        assert names(find_matches(prog)) == ["BS-Comcast"]
+
+    def test_bs_comcast_has_no_condition(self):
+        prog = Program([BcastStage(), ScanStage(CONCAT)])
+        assert names(find_matches(prog)) == ["BS-Comcast"]
+
+    def test_br_local_has_no_condition(self):
+        prog = Program([BcastStage(), ReduceStage(CONCAT)])
+        assert names(find_matches(prog)) == ["BR-Local"]
+
+
+class TestLossySafety:
+    def test_lossy_match_at_tail_is_safe(self):
+        prog = Program([BcastStage(), ReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        assert m.safe
+
+    def test_lossy_match_midstream_is_unsafe(self):
+        prog = Program([BcastStage(), ReduceStage(ADD), ScanStage(ADD)])
+        m = [x for x in find_matches(prog) if x.rule.name == "BR-Local"][0]
+        assert not m.safe
+
+    def test_lossy_match_before_bcast_is_safe(self):
+        prog = Program([BcastStage(), ReduceStage(ADD), BcastStage()])
+        m = [x for x in find_matches(prog) if x.rule.name == "BR-Local"][0]
+        assert m.safe
+
+    def test_apply_unsafe_raises_without_force(self):
+        prog = Program([BcastStage(), ReduceStage(ADD), ScanStage(ADD)])
+        m = [x for x in find_matches(prog) if x.rule.name == "BR-Local"][0]
+        with pytest.raises(ValueError):
+            apply_match(prog, m)
+
+    def test_apply_unsafe_with_force(self):
+        prog = Program([BcastStage(), ReduceStage(ADD), ScanStage(ADD)])
+        m = [x for x in find_matches(prog) if x.rule.name == "BR-Local"][0]
+        out, _ = apply_match(prog, m, force_unsafe=True)
+        assert isinstance(out.stages[0], IterStage)
+
+
+class TestPowerOfTwoGating:
+    def test_local_rules_filtered_without_general(self):
+        prog = Program([BcastStage(), ReduceStage(ADD)])
+        assert find_matches(prog, p=6, allow_general=False) == []
+        assert names(find_matches(prog, p=8, allow_general=False)) == ["BR-Local"]
+
+    def test_general_rewrite_selected_for_non_pow2(self):
+        prog = Program([BcastStage(), ReduceStage(ADD)])
+        (m,) = find_matches(prog, p=6)
+        out, _ = apply_match(prog, m, p=6)
+        stage = out.stages[0]
+        assert isinstance(stage, IterStage) and stage.general
+
+    def test_pow2_rewrite_not_general(self):
+        prog = Program([BcastStage(), ReduceStage(ADD)])
+        (m,) = find_matches(prog, p=8)
+        out, _ = apply_match(prog, m, p=8)
+        stage = out.stages[0]
+        assert isinstance(stage, IterStage) and not stage.general
+
+
+class TestRewriteTargets:
+    def test_sr_produces_balanced_reduce(self):
+        prog = Program([ScanStage(ADD), ReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        out, step = apply_match(prog, m)
+        kinds = [type(s) for s in out.stages]
+        assert kinds == [MapStage, BalancedReduceStage, MapStage]
+        assert "SR-Reduction" in step.describe()
+
+    def test_sr_allreduce_sets_to_all(self):
+        prog = Program([ScanStage(ADD), AllReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        out, _ = apply_match(prog, m)
+        assert out.stages[1].to_all
+
+    def test_ss_produces_balanced_scan(self):
+        prog = Program([ScanStage(ADD), ScanStage(ADD)])
+        (m,) = find_matches(prog)
+        out, _ = apply_match(prog, m)
+        assert isinstance(out.stages[1], BalancedScanStage)
+
+    def test_comcast_stage_produced(self):
+        prog = Program([BcastStage(), ScanStage(ADD)])
+        (m,) = find_matches(prog)
+        out, _ = apply_match(prog, m)
+        assert isinstance(out.stages[0], ComcastStage)
+        assert out.stages[0].impl == "repeat"
+
+    def test_cr_alllocal_has_trailing_bcast(self):
+        prog = Program([BcastStage(), AllReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        out, _ = apply_match(prog, m)
+        assert isinstance(out.stages[0], IterStage) and out.stages[0].then_bcast
+
+    def test_origin_recorded(self):
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        out, _ = apply_match(prog, m)
+        assert all(s.origin == "SR2-Reduction" for s in out.stages)
+
+    def test_apply_stale_match_raises(self):
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        (m,) = find_matches(prog)
+        other = Program([BcastStage(), BcastStage()])
+        with pytest.raises((ValueError, IndexError)):
+            apply_match(other, m)
+
+
+class TestRegistry:
+    def test_all_rules_unique_names(self):
+        names_ = [r.name for r in ALL_RULES]
+        assert len(names_) == len(set(names_)) == 11
+
+    def test_rule_by_name(self):
+        assert rule_by_name("SS2-Scan").name == "SS2-Scan"
+        with pytest.raises(KeyError):
+            rule_by_name("No-Such-Rule")
+
+    def test_triple_rules_listed_before_their_pair_rules(self):
+        order = [r.name for r in ALL_RULES]
+        assert order.index("BSS-Comcast") < order.index("BS-Comcast")
+        assert order.index("BSR2-Local") < order.index("SR2-Reduction")

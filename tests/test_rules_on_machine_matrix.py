@@ -1,0 +1,109 @@
+"""The big integration net: every rule × machine sizes × operators,
+rewritten programs executed on the simulator.
+
+This complements ``test_sim_vs_model`` (power-of-two timing exactness)
+with breadth: non-power-of-two machines exercise the balanced trees'
+()-cases, the generalized Local rules and the allreduce fallbacks *on
+the machine*, with non-commutative operators where the rules allow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, MATMUL2, MAX, MUL
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.machine import simulate_program
+from repro.semantics.functional import defined_equal
+
+#: rule → (program factory, input factory)
+CASES = {
+    "SR2-Reduction": (
+        lambda op2: Program([ScanStage(MUL), ReduceStage(ADD)]),
+        lambda p: [(i % 3) - 1 for i in range(p)],
+    ),
+    "SR-Reduction": (
+        lambda op2: Program([ScanStage(op2), ReduceStage(op2)]),
+        lambda p: [(i * 7) % 5 for i in range(p)],
+    ),
+    "SS2-Scan": (
+        lambda op2: Program([ScanStage(MUL), ScanStage(ADD)]),
+        lambda p: [(i % 3) - 1 for i in range(p)],
+    ),
+    "SS-Scan": (
+        lambda op2: Program([ScanStage(op2), ScanStage(op2)]),
+        lambda p: [(i * 3) % 7 for i in range(p)],
+    ),
+    "BS-Comcast": (
+        lambda op2: Program([BcastStage(), ScanStage(op2)]),
+        lambda p: [2] + [0] * (p - 1),
+    ),
+    "BSS2-Comcast": (
+        lambda op2: Program([BcastStage(), ScanStage(MUL), ScanStage(ADD)]),
+        lambda p: [2] + [0] * (p - 1),
+    ),
+    "BSS-Comcast": (
+        lambda op2: Program([BcastStage(), ScanStage(op2), ScanStage(op2)]),
+        lambda p: [2] + [0] * (p - 1),
+    ),
+    "BR-Local": (
+        lambda op2: Program([BcastStage(), ReduceStage(op2)]),
+        lambda p: [3] + [0] * (p - 1),
+    ),
+    "BSR2-Local": (
+        lambda op2: Program([BcastStage(), ScanStage(MUL), ReduceStage(ADD)]),
+        lambda p: [2] + [0] * (p - 1),
+    ),
+    "BSR-Local": (
+        lambda op2: Program([BcastStage(), ScanStage(op2), ReduceStage(op2)]),
+        lambda p: [2] + [0] * (p - 1),
+    ),
+    "CR-Alllocal": (
+        lambda op2: Program([BcastStage(), AllReduceStage(op2)]),
+        lambda p: [3] + [0] * (p - 1),
+    ),
+}
+
+#: commutative operators usable as the generic ⊕ (ints only: exact equality)
+COMM_OPS = [ADD, MAX]
+
+SIZES = [2, 3, 5, 6, 8, 13, 16]
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("op2", COMM_OPS, ids=lambda o: o.name)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_rule_on_machine(name, op2, p):
+    build, inputs = CASES[name]
+    prog = build(op2)
+    matches = [m for m in find_matches(prog, p=p) if m.rule.name == name]
+    if not matches:
+        pytest.skip(f"{name} does not match with {op2.name}")
+    rewritten, _ = apply_match(prog, matches[0], p=p, force_unsafe=True)
+    xs = inputs(p)
+    params = MachineParams(p=p, ts=77.0, tw=1.5, m=8)
+    ref = prog.run(list(xs))
+    sim_lhs = simulate_program(prog, list(xs), params)
+    sim_rhs = simulate_program(rewritten, list(xs), params)
+    assert defined_equal(ref, list(sim_lhs.values)), f"{name} LHS on machine"
+    assert defined_equal(ref, list(sim_rhs.values)), f"{name} RHS on machine"
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bs_comcast_noncommutative_on_machine(p):
+    """BS-Comcast with matrix products, simulated, at every size."""
+    prog = Program([BcastStage(), ScanStage(MATMUL2)])
+    (match,) = [m for m in find_matches(prog, p=p) if m.rule.name == "BS-Comcast"]
+    rewritten, _ = apply_match(prog, match, p=p)
+    xs = [((1, 1), (1, 0))] + [None] * (p - 1)
+    params = MachineParams(p=p, ts=50.0, tw=1.0, m=4)
+    ref = prog.run(list(xs))
+    assert list(simulate_program(rewritten, list(xs), params).values) == ref

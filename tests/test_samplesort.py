@@ -1,0 +1,117 @@
+"""Sample-sort application tests (apps.samplesort) + alltoall collective."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.samplesort import (
+    regular_sample,
+    sample_sort,
+    sample_sort_rank,
+    select_splitters,
+)
+from repro.core.cost import MachineParams
+from repro.mpi import spmd_run
+from repro.mpi.threaded import threaded_spmd_run
+
+PARAMS = MachineParams(p=8, ts=50.0, tw=1.0, m=32)
+
+
+class TestHelpers:
+    def test_regular_sample(self):
+        assert regular_sample([1, 2, 3, 4, 5, 6, 7, 8], 4) == [1, 3, 5, 7]
+        assert regular_sample([], 4) == []
+        assert regular_sample([1, 2], 0) == []
+
+    def test_select_splitters(self):
+        assert select_splitters(list(range(16)), 4) == [4, 8, 12]
+        assert select_splitters([], 4) == []
+        assert select_splitters([1, 2], 1) == []
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 16])
+    def test_uniform_random(self, p):
+        rng = random.Random(p)
+        blocks = [[rng.randint(-1000, 1000) for _ in range(20)] for _ in range(p)]
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == sorted(x for b in blocks for x in b)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_skewed_input(self, p):
+        # everything in one block, heavy duplicates
+        blocks = [[5] * 30] + [[] for _ in range(p - 1)]
+        blocks[0].extend(range(10))
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == sorted(x for b in blocks for x in b)
+
+    def test_presorted_and_reversed(self):
+        n, p = 64, 4
+        data = list(range(n))
+        blocks = [data[i::p] for i in range(p)]
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == data
+        blocks = [list(reversed(data))[i::p] for i in range(p)]
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == data
+
+    def test_empty_blocks(self):
+        flat, _ = sample_sort([[], [], []], PARAMS)
+        assert flat == []
+
+    def test_strings_sort(self):
+        blocks = [["pear", "apple"], ["fig", "date"], ["cherry", "banana"]]
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == sorted(x for b in blocks for x in b)
+
+    @given(data=st.data(), p=st.integers(1, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_random_property(self, data, p):
+        blocks = [
+            data.draw(st.lists(st.integers(-50, 50), max_size=12))
+            for _ in range(p)
+        ]
+        flat, _ = sample_sort(blocks, PARAMS)
+        assert flat == sorted(x for b in blocks for x in b)
+
+    def test_rank_outputs_are_ordered_buckets(self):
+        rng = random.Random(0)
+        p = 4
+        blocks = [[rng.randint(0, 99) for _ in range(16)] for _ in range(p)]
+        res = spmd_run(sample_sort_rank, blocks, PARAMS)
+        prev_max = None
+        for bucket in res.values:
+            assert bucket == sorted(bucket)
+            if bucket and prev_max is not None:
+                assert bucket[0] >= prev_max
+            if bucket:
+                prev_max = bucket[-1]
+
+    def test_on_threaded_frontend(self):
+        rng = random.Random(1)
+        p = 4
+        blocks = [[rng.randint(0, 99) for _ in range(10)] for _ in range(p)]
+
+        def blocking(comm, block):
+            import heapq
+
+            from repro.apps.samplesort import (
+                _partition,
+                regular_sample,
+                select_splitters,
+            )
+
+            mine = sorted(block)
+            sample = regular_sample(mine, 2 * comm.size) or mine[:1]
+            gathered = comm.allgather(sample)
+            splitters = select_splitters(
+                [x for part in gathered for x in part], comm.size)
+            received = comm.alltoall(_partition(mine, splitters, comm.size))
+            return list(heapq.merge(*received))
+
+        res = threaded_spmd_run(blocking, blocks, PARAMS)
+        flat = [x for bucket in res.values for x in bucket]
+        assert flat == sorted(x for b in blocks for x in b)

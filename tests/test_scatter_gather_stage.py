@@ -1,0 +1,90 @@
+"""Scatter/Gather stages: semantics, machine timing, language, codegen."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.codegen import generate_mpi4py
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import BinOp
+from repro.core.stages import (
+    GatherStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScatterStage,
+)
+from repro.lang import parse_program, to_mpi_text
+from repro.machine import simulate_program
+from repro.semantics.functional import UNDEF, gather_fn, scatter_fn
+
+
+class TestSemantics:
+    def test_scatter(self):
+        assert scatter_fn([[10, 20, 30], None, None]) == [10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        with pytest.raises(ValueError):
+            scatter_fn([[1, 2], None, None])
+
+    def test_gather(self):
+        out = gather_fn([1, 2, 3])
+        assert out[0] == (1, 2, 3)
+        assert all(v is UNDEF for v in out[1:])
+
+    def test_roundtrip(self):
+        prog = Program([ScatterStage(), GatherStage()])
+        out = prog.run([["a", "b", "c"], None, None])
+        assert out[0] == ("a", "b", "c")
+
+
+class TestMachine:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 13, 16])
+    def test_simulated_roundtrip_and_exact_cost(self, p):
+        prog = Program([ScatterStage(), GatherStage()])
+        params = MachineParams(p=p, ts=100.0, tw=2.0, m=8)
+        data = [list(range(p))] + [None] * (p - 1)
+        sim = simulate_program(prog, data, params)
+        assert sim.values[0] == tuple(range(p))
+        assert sim.time == pytest.approx(program_cost(prog, params))
+
+    def test_scatter_compute_scatter(self):
+        sq = MapStage(lambda v: v * v, label="sq")
+        prog = Program([ScatterStage(), sq, GatherStage()])
+        out = simulate_program(prog, [[1, 2, 3, 4]] + [None] * 3,
+                               MachineParams(p=4, ts=10, tw=1, m=2))
+        assert out.values[0] == (1, 4, 9, 16)
+
+
+class TestLanguageAndCodegen:
+    def test_parse_print_roundtrip(self):
+        src = "Program P (x);\nMPI_Scatter (x, y);\nMPI_Gather (y, z);\n"
+        prog = parse_program(src).to_program({})
+        assert [type(s) for s in prog.stages] == [ScatterStage, GatherStage]
+        text = to_mpi_text(prog)
+        assert "MPI_Scatter" in text and "MPI_Gather" in text
+        re = parse_program(text).to_program({})
+        assert re.pretty() == prog.pretty()
+
+    def test_codegen_emits_scatter_gather(self):
+        prog = Program([ScatterStage(), GatherStage()])
+        src = generate_mpi4py(prog)
+        compile(src, "<gen>", "exec")
+        assert "comm.scatter" in src and "comm.gather" in src
+
+
+class TestWordCountPipeline:
+    def test_wordcount_matches_counter(self):
+        merge = BinOp("merge", lambda a, b: a + b, commutative=True,
+                      identity=Counter(), has_identity=True)
+        prog = Program([
+            ScatterStage(),
+            MapStage(lambda chunk: Counter(chunk.split()), label="count"),
+            ReduceStage(merge),
+        ])
+        chunks = ["a b b", "c a", "b c c", "a"]
+        sim = simulate_program(prog, [chunks] + [None] * 3,
+                               MachineParams(p=4, ts=10, tw=1, m=4))
+        assert sim.values[0] == Counter("a b b c a b c c a".split())

@@ -1,0 +1,116 @@
+"""Segmented scan tests: the operator-transformer path through the stack."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, MUL, check_associative
+from repro.core.rewrite import find_matches
+from repro.core.segmented import (
+    from_segmented,
+    segmented_op,
+    segmented_scan,
+    to_segmented,
+)
+from repro.core.stages import Program, ScanStage
+from repro.machine import simulate_program
+
+SEG_ADD = segmented_op(ADD)
+
+
+class TestOperator:
+    def test_restart_at_flag(self):
+        assert SEG_ADD((False, 5), (True, 3)) == (True, 3)
+
+    def test_accumulate_within_segment(self):
+        assert SEG_ADD((False, 5), (False, 3)) == (False, 8)
+        assert SEG_ADD((True, 5), (False, 3)) == (True, 8)
+
+    def test_associative(self):
+        def gen(rng: random.Random):
+            return (rng.random() < 0.4, rng.randint(-9, 9))
+
+        check_associative(SEG_ADD, gen, trials=300)
+
+    def test_not_commutative(self):
+        assert SEG_ADD((True, 1), (False, 2)) != SEG_ADD((False, 2), (True, 1))
+
+    def test_metadata(self):
+        assert SEG_ADD.width == 2
+        assert SEG_ADD.op_count == 2
+
+
+class TestSegmentedScan:
+    def test_reference(self):
+        vals = [1, 2, 3, 4, 5]
+        flags = [True, False, True, False, False]
+        assert segmented_scan(ADD, vals, flags) == [1, 3, 3, 7, 12]
+
+    def test_all_heads_is_identity(self):
+        vals = [4, 5, 6]
+        assert segmented_scan(ADD, vals, [True] * 3) == vals
+
+    def test_no_heads_is_plain_scan(self):
+        vals = [1, 2, 3, 4]
+        got = segmented_scan(ADD, vals, [False] * 4)
+        assert got == [1, 3, 6, 10]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_scan(ADD, [1], [True, False])
+        with pytest.raises(ValueError):
+            to_segmented([1], [True, False])
+
+    @given(
+        data=st.data(),
+        n=st.integers(1, 24),
+    )
+    @settings(max_examples=60)
+    def test_ordinary_scan_of_lifted_op_matches(self, data, n):
+        """Blelloch's theorem, executably: scan(seg_op) == segmented scan."""
+        from repro.semantics.functional import scan_fn
+
+        vals = [data.draw(st.integers(-9, 9)) for _ in range(n)]
+        flags = [data.draw(st.booleans()) for _ in range(n)]
+        pairs = to_segmented(vals, flags)
+        got = from_segmented(scan_fn(SEG_ADD, pairs))
+        flags_eff = [True] + flags[1:]
+        assert got == segmented_scan(ADD, vals, flags_eff)
+
+    @pytest.mark.parametrize("p", [2, 5, 8, 13])
+    def test_on_the_machine(self, p):
+        rng = random.Random(p)
+        vals = [rng.randint(-5, 5) for _ in range(p)]
+        flags = [rng.random() < 0.3 for _ in range(p)]
+        pairs = to_segmented(vals, flags)
+        prog = Program([ScanStage(SEG_ADD)])
+        params = MachineParams(p=p, ts=50.0, tw=1.0, m=8)
+        sim = simulate_program(prog, pairs, params)
+        flags_eff = [True] + flags[1:]
+        assert from_segmented(sim.values) == segmented_scan(ADD, vals, flags_eff)
+
+    def test_concat_segments(self):
+        seg = segmented_op(CONCAT)
+        pairs = to_segmented(list("abcde"), [True, False, False, True, False])
+        from repro.semantics.functional import scan_fn
+
+        assert from_segmented(scan_fn(seg, pairs)) == ["a", "ab", "abc", "d", "de"]
+
+
+class TestRuleInteraction:
+    def test_commutativity_rules_refuse_segmented_ops(self):
+        """SS-Scan requires commutativity; the segmented lift loses it, so
+        the rule must not fire (the side conditions do real work here)."""
+        prog = Program([ScanStage(SEG_ADD), ScanStage(SEG_ADD)])
+        assert [m.rule.name for m in find_matches(prog, p=8)] == []
+
+    def test_bs_comcast_still_fires(self):
+        from repro.core.stages import BcastStage
+
+        prog = Program([BcastStage(), ScanStage(SEG_ADD)])
+        names = [m.rule.name for m in find_matches(prog, p=8)]
+        assert names == ["BS-Comcast"]  # needs associativity only

@@ -1,0 +1,168 @@
+"""Semirings and the shortest-path application (verified vs. NetworkX)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.shortestpath import (
+    INF,
+    apsp_program,
+    hop_limited_paths,
+    min_plus_power_direct,
+    weight_matrix,
+)
+from repro.core.cost import MachineParams
+from repro.core.operators import check_associative, check_distributes
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.semirings import (
+    BOOLEAN,
+    TROPICAL_MAX_PLUS,
+    TROPICAL_MIN_PLUS,
+    VITERBI,
+    matrix_semiring,
+)
+from repro.core.stages import ComcastStage
+from repro.machine import simulate_program
+
+
+def _mat_gen(n, ring):
+    def gen(rng: random.Random):
+        return tuple(
+            tuple(rng.choice([ring.zero, 0.0, 1.0, 2.5, 7.0]) for _ in range(n))
+            for _ in range(n)
+        )
+
+    return gen
+
+
+class TestSemirings:
+    @pytest.mark.parametrize("ring", [TROPICAL_MIN_PLUS, TROPICAL_MAX_PLUS,
+                                      VITERBI, BOOLEAN],
+                             ids=lambda r: r.name)
+    def test_scalar_axioms(self, ring):
+        def gen(rng: random.Random):
+            if ring is BOOLEAN:
+                return rng.random() < 0.5
+            return float(rng.randint(0, 10))
+
+        check_associative(ring.plus, gen, trials=60)
+        check_associative(ring.times, gen, trials=60)
+        check_distributes(ring.times, ring.plus, gen, trials=60)
+        a = gen(random.Random(1))
+        assert ring.plus(ring.zero, a) == a
+        assert ring.times(ring.one, a) == a
+
+    def test_matrix_semiring_identities(self):
+        ring = matrix_semiring(TROPICAL_MIN_PLUS, 3)
+        m = ((0.0, 2.0, INF), (1.0, 0.0, 4.0), (INF, 3.0, 0.0))
+        assert ring.times(ring.one, m) == m
+        assert ring.times(m, ring.one) == m
+        assert ring.plus(ring.zero, m) == m
+
+    def test_matrix_times_associative(self):
+        ring = matrix_semiring(TROPICAL_MIN_PLUS, 3)
+        check_associative(ring.times, _mat_gen(3, TROPICAL_MIN_PLUS), trials=30)
+
+    def test_matrix_metadata(self):
+        ring = matrix_semiring(TROPICAL_MIN_PLUS, 4)
+        assert ring.plus.width == 16 and ring.times.width == 16
+        assert ring.times.op_count == 2 * 64
+
+    def test_distributivity_registered(self):
+        from repro.core.operators import distributes_over
+
+        ring = matrix_semiring(TROPICAL_MIN_PLUS, 2)
+        assert distributes_over(ring.times, ring.plus)
+        assert distributes_over(TROPICAL_MIN_PLUS.times, TROPICAL_MIN_PLUS.plus)
+
+
+class TestWeightMatrix:
+    def test_diagonal_and_missing(self):
+        w = weight_matrix(3, [(0, 1, 5.0)])
+        assert w[0][0] == 0.0 and w[1][0] == 5.0 and w[0][2] == INF
+
+    def test_directed(self):
+        w = weight_matrix(2, [(0, 1, 3.0)], directed=True)
+        assert w[0][1] == 3.0 and w[1][0] == INF
+
+    def test_parallel_edges_keep_min(self):
+        w = weight_matrix(2, [(0, 1, 5.0), (0, 1, 2.0)])
+        assert w[0][1] == 2.0
+
+
+class TestAgainstNetworkX:
+    def _random_graph(self, n, seed, density=0.4):
+        rng = random.Random(seed)
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < density:
+                    edges.append((u, v, rng.randint(1, 9)))
+        return edges
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_full_apsp_matches_networkx(self, seed):
+        n = 7
+        edges = self._random_graph(n, seed)
+        w = weight_matrix(n, edges)
+        # processor n-2 holds paths of <= n-1 hops = the true APSP
+        mats = hop_limited_paths(w, p=n - 1)
+        ours = mats[-1]
+
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_weighted_edges_from(edges)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(g))
+        for i in range(n):
+            for j in range(n):
+                want = lengths[i].get(j, INF)
+                assert ours[i][j] == pytest.approx(want), (i, j)
+
+    def test_hop_limits_monotone(self):
+        n = 6
+        edges = [(i, i + 1, 1.0) for i in range(n - 1)]  # a path graph
+        w = weight_matrix(n, edges)
+        mats = hop_limited_paths(w, p=n)
+        # distance 0->k requires k hops: defined exactly at processor k-1
+        for k in range(1, n):
+            assert mats[k - 1][0][k] == float(k)
+            if k >= 2:
+                assert mats[k - 2][0][k] == INF
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_prefixes_match_direct_powers(self, k):
+        n = 5
+        w = weight_matrix(n, self._random_graph(n, seed=7, density=0.6))
+        mats = hop_limited_paths(w, p=k)
+        assert mats[k - 1] == min_plus_power_direct(w, k)
+
+
+class TestOptimization:
+    def test_bs_comcast_fuses_apsp(self):
+        n, p = 4, 8
+        prog = apsp_program(n)
+        ms = [m for m in find_matches(prog, p=p) if m.rule.name == "BS-Comcast"]
+        assert ms
+        fused, _ = apply_match(prog, ms[0], p=p)
+        assert isinstance(fused.stages[0], ComcastStage)
+        w = weight_matrix(n, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)])
+        xs = [w] + [None] * (p - 1)
+        assert prog.run(xs) == fused.run(xs)
+
+    def test_simulated_speedup(self):
+        n, p = 4, 16
+        prog = apsp_program(n)
+        (match,) = [m for m in find_matches(prog, p=p)
+                    if m.rule.name == "BS-Comcast"]
+        fused, _ = apply_match(prog, match, p=p)
+        w = weight_matrix(n, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 9.0)])
+        xs = [w] + [None] * (p - 1)
+        params = MachineParams(p=p, ts=600.0, tw=2.0, m=1)
+        t0 = simulate_program(prog, xs, params)
+        t1 = simulate_program(fused, xs, params)
+        assert t1.time < t0.time
+        assert t0.values == t1.values

@@ -1,0 +1,95 @@
+"""Cross-validation: simulated time ≡ closed-form model cost.
+
+On power-of-two machines every stage's simulated makespan must equal
+``stage_cost`` exactly (the simulator implements precisely the butterfly/
+binomial schemes the model prices), and hence whole programs — original
+or rewritten — must match too.  This is the bridge that makes Table 1's
+predictions *measurable* in our reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import ADD, MUL
+from repro.core.optimizer import optimize
+from repro.core.rewrite import apply_match, find_matches
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.machine import simulate_program
+
+RULE_LHS = {
+    "SR2-Reduction": Program([ScanStage(MUL), ReduceStage(ADD)]),
+    "SR-Reduction": Program([ScanStage(ADD), ReduceStage(ADD)]),
+    "SS2-Scan": Program([ScanStage(MUL), ScanStage(ADD)]),
+    "SS-Scan": Program([ScanStage(ADD), ScanStage(ADD)]),
+    "BS-Comcast": Program([BcastStage(), ScanStage(ADD)]),
+    "BSS2-Comcast": Program([BcastStage(), ScanStage(MUL), ScanStage(ADD)]),
+    "BSS-Comcast": Program([BcastStage(), ScanStage(ADD), ScanStage(ADD)]),
+    "BR-Local": Program([BcastStage(), ReduceStage(ADD)]),
+    "BSR2-Local": Program([BcastStage(), ScanStage(MUL), ReduceStage(ADD)]),
+    "BSR-Local": Program([BcastStage(), ScanStage(ADD), ReduceStage(ADD)]),
+    "CR-Alllocal": Program([BcastStage(), AllReduceStage(ADD)]),
+}
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+@pytest.mark.parametrize("name", sorted(RULE_LHS))
+def test_lhs_and_rhs_times_match_model(name, p):
+    """For every rule: simulate LHS and RHS; both match the model exactly."""
+    params = MachineParams(p=p, ts=250.0, tw=3.0, m=32)
+    prog = RULE_LHS[name]
+    xs = [2] * p
+    (match,) = [m for m in find_matches(prog, p=p) if m.rule.name == name]
+    rewritten, _ = apply_match(prog, match, p=p, force_unsafe=True)
+
+    sim_lhs = simulate_program(prog, xs, params)
+    sim_rhs = simulate_program(rewritten, xs, params)
+    assert sim_lhs.time == pytest.approx(program_cost(prog, params))
+    assert sim_rhs.time == pytest.approx(program_cost(rewritten, params))
+
+
+@pytest.mark.parametrize("name", sorted(RULE_LHS))
+def test_table1_winner_confirmed_by_simulation(name):
+    """Where Table 1 predicts improvement, the simulator must agree
+    (and vice versa), p = 16, Parsytec-ish parameters."""
+    from repro.core.rules import rule_by_name
+
+    p = 16
+    params = MachineParams(p=p, ts=600.0, tw=2.0, m=128)
+    prog = RULE_LHS[name]
+    xs = [2] * p
+    (match,) = [m for m in find_matches(prog, p=p) if m.rule.name == name]
+    rewritten, _ = apply_match(prog, match, p=p, force_unsafe=True)
+    t_before = simulate_program(prog, xs, params).time
+    t_after = simulate_program(rewritten, xs, params).time
+    predicted = rule_by_name(name).improves(params)
+    assert (t_after < t_before) == predicted
+
+
+@given(
+    p=st.sampled_from([2, 4, 8, 16]),
+    ts=st.floats(1.0, 2000.0),
+    tw=st.floats(0.0, 16.0),
+    m=st.integers(1, 512),
+)
+@settings(max_examples=30, deadline=None)
+def test_optimized_example_simulates_within_model_cost(p, ts, tw, m):
+    from repro.apps import build_example
+
+    params = MachineParams(p=p, ts=ts, tw=tw, m=m)
+    res = optimize(build_example(), params)
+    xs = list(range(1, p + 1))
+    sim = simulate_program(res.program, xs, params)
+    # <= because adjacent collectives may pipeline across ranks in the
+    # simulator, while the model adds stage costs (barrier assumption).
+    assert sim.time <= res.cost_after + 1e-6
+    assert sim.time > 0 or res.cost_after == 0

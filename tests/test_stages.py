@@ -1,0 +1,123 @@
+"""Stage AST and Program tests (core.stages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derived_ops import bs_comcast_op, br_iter_op
+from repro.core.operators import ADD, CONCAT, MUL
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    ComcastStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.semantics.functional import UNDEF
+
+
+class TestStageSemantics:
+    def test_map(self):
+        assert MapStage(lambda x: x + 1).apply([1, 2]) == [2, 3]
+
+    def test_map_indexed(self):
+        assert MapIndexedStage(lambda i, x: i * x).apply([3, 3]) == [0, 3]
+
+    def test_map2(self):
+        st = Map2Stage(lambda x, y: x * y, other=(2, 3))
+        assert st.apply([10, 10]) == [20, 30]
+
+    def test_map2_indexed(self):
+        st = Map2Stage(lambda i, x, y: i + x + y, other=(2, 3), indexed=True)
+        assert st.apply([10, 10]) == [12, 14]
+
+    def test_collective_flags(self):
+        assert not MapStage(lambda x: x).is_collective
+        assert ScanStage(ADD).is_collective
+        assert ReduceStage(ADD).is_collective
+        assert AllReduceStage(ADD).is_collective
+        assert BcastStage().is_collective
+        assert ComcastStage(bs_comcast_op(ADD)).is_collective
+
+    def test_iter_stage_collective_only_with_bcast(self):
+        op = br_iter_op(ADD)
+        assert not IterStage(op).is_collective
+        assert IterStage(op, then_bcast=True).is_collective
+
+    def test_comcast_rejects_unknown_impl(self):
+        with pytest.raises(ValueError):
+            ComcastStage(bs_comcast_op(ADD), impl="magic")
+
+    def test_iter_stage_general_flag(self):
+        op = br_iter_op(ADD)
+        out = IterStage(op, general=True).apply([3, 0, 0, 0, 0, 0])
+        assert out[0] == 18  # 3 * 6
+        with pytest.raises(ValueError):
+            IterStage(op).apply([3, 0, 0])  # 3 procs, not a power of two
+
+    def test_comcast_impls_agree(self):
+        op = bs_comcast_op(ADD)
+        xs = [5, 0, 0, 0, 0, 0, 0]
+        a = ComcastStage(op, impl="repeat").apply(xs)
+        b = ComcastStage(op, impl="doubling").apply(xs)
+        assert a == b == [5 * (k + 1) for k in range(7)]
+
+    def test_pretty_strings(self):
+        assert ScanStage(ADD).pretty() == "scan (add)"
+        assert ReduceStage(MUL).pretty() == "reduce (mul)"
+        assert BcastStage().pretty() == "bcast"
+        assert "map#" in MapIndexedStage(lambda i, x: x, label="h").pretty()
+
+
+class TestProgram:
+    def test_run_chains_stages(self):
+        prog = Program([MapStage(lambda x: x * 2), ScanStage(ADD)])
+        assert prog.run([1, 2, 3]) == [2, 6, 12]
+
+    def test_iteration_and_indexing(self):
+        stages = [BcastStage(), ScanStage(ADD)]
+        prog = Program(stages)
+        assert len(prog) == 2
+        assert list(prog) == stages
+        assert prog[0] is stages[0]
+        assert prog[0:1] == (stages[0],)
+
+    def test_then_concatenates(self):
+        a = Program([BcastStage()], name="A")
+        b = Program([ScanStage(ADD)], name="B")
+        c = a.then(b)
+        assert [type(s) for s in c.stages] == [BcastStage, ScanStage]
+        assert c.name == "A;B"
+
+    def test_replaced_window(self):
+        prog = Program([BcastStage(), ScanStage(ADD), ReduceStage(ADD)])
+        out = prog.replaced(1, 2, [MapStage(lambda x: x)])
+        assert [type(s) for s in out.stages] == [BcastStage, MapStage]
+
+    def test_replaced_out_of_range(self):
+        prog = Program([BcastStage()])
+        with pytest.raises(IndexError):
+            prog.replaced(0, 2, [])
+
+    def test_collective_count(self):
+        prog = Program([MapStage(lambda x: x), ScanStage(ADD), BcastStage()])
+        assert prog.collective_count() == 2
+
+    def test_pretty(self):
+        prog = Program([ScanStage(CONCAT), BcastStage()])
+        assert prog.pretty() == "scan (concat) ; bcast"
+
+    def test_programs_are_immutable(self):
+        prog = Program([BcastStage()])
+        with pytest.raises((AttributeError, TypeError)):
+            prog.stages = ()
+
+    def test_with_origin(self):
+        s = ScanStage(ADD).with_origin("TestRule")
+        assert s.origin == "TestRule"
+        assert s.op is ADD

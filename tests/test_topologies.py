@@ -1,0 +1,91 @@
+"""Topology link models: the paper's full-connectivity assumption, priced."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import ADD
+from repro.core.stages import BcastStage, Program, ScanStage
+from repro.machine import simulate_program
+from repro.machine.topologies import HypercubeParams, MeshParams, RingParams
+
+
+class TestDistances:
+    def test_ring_cyclic(self):
+        ring = RingParams(p=8, ts=10, tw=1)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1      # wraps
+        assert ring.hops(0, 4) == 4
+        assert ring.hops(2, 6) == 4
+
+    def test_mesh_manhattan(self):
+        mesh = MeshParams(p=16, ts=10, tw=1, cols=4)
+        assert mesh.hops(0, 3) == 3      # same row
+        assert mesh.hops(0, 12) == 3     # same column
+        assert mesh.hops(0, 15) == 6     # opposite corner
+
+    def test_mesh_validation(self):
+        with pytest.raises(ValueError):
+            MeshParams(p=10, ts=1, tw=1, cols=4)
+
+    def test_hypercube_hamming(self):
+        cube = HypercubeParams(p=16, ts=10, tw=1)
+        assert cube.hops(0b0000, 0b1000) == 1
+        assert cube.hops(0b0101, 0b1010) == 4
+
+    def test_hypercube_needs_pow2(self):
+        with pytest.raises(ValueError):
+            HypercubeParams(p=6, ts=1, tw=1)
+
+    def test_link_scales_tw_not_ts(self):
+        ring = RingParams(p=8, ts=10, tw=1)
+        assert ring.link(0, 4) == (10, 4)
+        assert ring.link(0, 1) == (10, 1)
+
+
+class TestCollectivesOnTopologies:
+    PROG = Program([BcastStage(), ScanStage(ADD)])
+
+    def _time(self, params):
+        xs = [3] + [0] * (params.p - 1)
+        sim = simulate_program(self.PROG, xs, params)
+        assert list(sim.values) == [3 * (k + 1) for k in range(params.p)]
+        return sim.time
+
+    def test_hypercube_matches_fully_connected_exactly(self):
+        """The butterfly's XOR pattern is single-hop on the hypercube, so
+        the paper's fully-connected estimates hold without error."""
+        p = 16
+        flat = MachineParams(p=p, ts=100.0, tw=2.0, m=64)
+        cube = HypercubeParams(p=p, ts=100.0, tw=2.0, m=64)
+        assert self._time(cube) == pytest.approx(self._time(flat))
+        assert self._time(flat) == pytest.approx(program_cost(self.PROG, flat))
+
+    def test_ring_pays_for_long_phases(self):
+        p = 16
+        flat = MachineParams(p=p, ts=100.0, tw=2.0, m=64)
+        ring = RingParams(p=p, ts=100.0, tw=2.0, m=64)
+        assert self._time(ring) > self._time(flat)
+
+    def test_mesh_between_ring_and_cube(self):
+        p = 16
+        ring = RingParams(p=p, ts=100.0, tw=2.0, m=64)
+        mesh = MeshParams(p=p, ts=100.0, tw=2.0, m=64, cols=4)
+        cube = HypercubeParams(p=p, ts=100.0, tw=2.0, m=64)
+        assert self._time(cube) <= self._time(mesh) <= self._time(ring)
+
+    def test_rules_still_correct_just_repriced(self):
+        """Semantics of an optimized program are topology-independent;
+        only the *profitability* analysis shifts."""
+        from repro.core.optimizer import optimize
+        from repro.semantics.functional import defined_equal
+
+        p = 16
+        ring = RingParams(p=p, ts=600.0, tw=2.0, m=64)
+        res = optimize(self.PROG, ring)
+        xs = [3] + [0] * (p - 1)
+        assert defined_equal(self.PROG.run(xs), res.program.run(xs))
+        t0 = simulate_program(self.PROG, xs, ring).time
+        t1 = simulate_program(res.program, xs, ring).time
+        assert t1 <= t0
