@@ -23,6 +23,10 @@ Subcommands
     Optimize a program and write a markdown derivation report.
 ``codegen FILE``
     Optimize a program and emit a runnable mpi4py script.
+``conformance``
+    Randomized multi-backend conformance run: differential testing of
+    all execution backends, rule-soundness and cost-monotonicity checks
+    (see ``docs/TESTING.md``).
 
 Machine parameters are given as ``--p/--ts/--tw/--m``; operator names in
 program files resolve against a built-in environment (``add mul max min
@@ -140,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cg.add_argument("--no-optimize", action="store_true",
                       help="emit the program as written")
     p_cg.add_argument("--modulus", type=int, default=None)
+
+    p_cf = subs.add_parser(
+        "conformance",
+        help="randomized multi-backend conformance run")
+    p_cf.add_argument("--seed", type=int, default=0,
+                      help="base seed; every case derives from it (default 0)")
+    p_cf.add_argument("--iters", type=int, default=100,
+                      help="number of generated cases (default 100)")
+    p_cf.add_argument("--extensions", action="store_true",
+                      help="also exercise the extension rules")
+    p_cf.add_argument("--max-failures", type=int, default=5,
+                      help="stop after this many failures (default 5)")
 
     return parser
 
@@ -283,6 +299,19 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testing import run_conformance
+
+    rules = FULL_RULES if args.extensions else ALL_RULES
+    report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
+                             max_failures=args.max_failures)
+    print(report.describe())
+    if not report.covered_both_ways():
+        print("warning: not every paper rule was covered both ways "
+              "(increase --iters)", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     try:
@@ -320,6 +349,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "conformance":
+        return _cmd_conformance(args)
     return 2  # pragma: no cover
 
 

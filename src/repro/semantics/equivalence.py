@@ -33,13 +33,18 @@ class Counterexample:
     inputs: tuple[Any, ...]
     output_a: tuple[Any, ...]
     output_b: tuple[Any, ...]
+    #: the RNG seed of the search that found this input, for replay
+    seed: int | None = None
 
     def describe(self) -> str:
-        return (
+        text = (
             f"inputs   : {list(self.inputs)}\n"
             f"program A: {list(self.output_a)}\n"
             f"program B: {list(self.output_b)}"
         )
+        if self.seed is not None:
+            text += f"\nrng seed : {self.seed}  (pass seed={self.seed} to replay)"
+        return text
 
 
 def random_equivalence_check(
@@ -62,7 +67,8 @@ def random_equivalence_check(
             out_a = prog_a.run(list(xs))
             out_b = prog_b.run(list(xs))
             if not defined_equal(out_a, out_b):
-                return Counterexample(tuple(xs), tuple(out_a), tuple(out_b))
+                return Counterexample(tuple(xs), tuple(out_a), tuple(out_b),
+                                      seed=seed)
     return None
 
 

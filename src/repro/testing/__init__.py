@@ -1,0 +1,73 @@
+"""Conformance subsystem: randomized differential testing of all backends.
+
+The paper's rules are proved by hand; this package is the machine-checkable
+counterpart.  It contains
+
+* :mod:`repro.testing.generator` — a typed random program generator over
+  the stage DSL, parameterized by operator algebra (semiring pairs,
+  commutative, non-commutative, segmented) so generated programs exercise
+  every rule's side condition both when it holds and when it fails;
+* :mod:`repro.testing.oracle` — a multi-backend differential oracle
+  running each program through the functional evaluator, the simulated
+  machine engine, the threaded MPI backend and the simulated codegen
+  backend, with counterexample shrinking;
+* :mod:`repro.testing.soundness` — rule-soundness (LHS ≡ RHS for every
+  match :func:`repro.core.rewrite.find_matches` reports) and
+  cost-monotonicity (``optimize`` never returns a costlier program)
+  checkers;
+* :mod:`repro.testing.conformance` — the orchestrator behind
+  ``python -m repro conformance --seed N --iters K``.
+
+Every failure is reported with the seed that reproduces it; see
+``docs/TESTING.md`` for the replay workflow.
+"""
+
+from repro.testing.conformance import (
+    PAPER_RULES,
+    CaseFailure,
+    ConformanceReport,
+    run_conformance,
+)
+from repro.testing.generator import (
+    DOMAINS,
+    RULE_CASES,
+    GeneratedProgram,
+    RuleCase,
+    generate_from_case,
+    generate_random,
+)
+from repro.testing.oracle import (
+    BACKENDS,
+    BackendMismatch,
+    run_backend,
+    differential_check,
+    shrink_counterexample,
+)
+from repro.testing.soundness import (
+    CostViolation,
+    SoundnessViolation,
+    check_cost_monotonicity,
+    check_rule_soundness,
+)
+
+__all__ = [
+    "PAPER_RULES",
+    "CaseFailure",
+    "ConformanceReport",
+    "run_conformance",
+    "DOMAINS",
+    "RULE_CASES",
+    "GeneratedProgram",
+    "RuleCase",
+    "generate_from_case",
+    "generate_random",
+    "BACKENDS",
+    "BackendMismatch",
+    "run_backend",
+    "differential_check",
+    "shrink_counterexample",
+    "CostViolation",
+    "SoundnessViolation",
+    "check_cost_monotonicity",
+    "check_rule_soundness",
+]

@@ -276,3 +276,57 @@ class TestBlellochScan:
         t_b = run_collective(scan_blelloch, xs, ADD, params=latency_bound).time
         t_f = run_collective(scan_butterfly, xs, ADD, params=latency_bound).time
         assert t_b > t_f
+
+
+class TestDegenerateMachines:
+    """p=1 machines and empty blocks through the machine collectives.
+
+    The engine must not deadlock or mangle values when a collective
+    degenerates to a no-op (single rank) or when blocks carry no data
+    (empty tuples under concat).
+    """
+
+    def test_p1_scan_reduce_bcast(self):
+        assert list(run_collective(scan_butterfly, [5], ADD).values) == [5]
+        assert list(run_collective(reduce_binomial, [5], ADD).values) == [5]
+        assert list(run_collective(bcast_binomial, [5]).values) == [5]
+        assert list(run_collective(allreduce_butterfly, [5], ADD).values) == [5]
+
+    def test_p1_comcast_both_impls(self):
+        from repro.core.derived_ops import bs_comcast_op
+        from repro.machine.collectives.comcast import (
+            comcast_bcast_repeat,
+            comcast_doubling,
+        )
+
+        op = bs_comcast_op(ADD)
+        for impl in (comcast_bcast_repeat, comcast_doubling):
+            assert list(run_collective(impl, [5], op).values) == [5]
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8])
+    def test_comcast_impls_agree_off_power_of_two(self, p):
+        from repro.core.derived_ops import bs_comcast_op
+        from repro.machine.collectives.comcast import (
+            comcast_bcast_repeat,
+            comcast_doubling,
+        )
+
+        op = bs_comcast_op(ADD)
+        xs = [3] + [0] * (p - 1)
+        a = run_collective(comcast_bcast_repeat, xs, op).values
+        b = run_collective(comcast_doubling, xs, op).values
+        assert list(a) == list(b) == scan_fn(ADD, bcast_fn(xs))
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_empty_blocks_through_machine_collectives(self, p):
+        xs = [() for _ in range(p)]
+        scanned = run_collective(scan_butterfly, xs, CONCAT).values
+        assert list(scanned) == scan_fn(CONCAT, xs)
+        reduced = run_collective(reduce_binomial, xs, CONCAT).values
+        assert defined_pairs_equal(list(reduced), reduce_fn(CONCAT, xs))
+
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_mixed_empty_blocks(self, p):
+        xs = [(i,) if i % 2 else () for i in range(p)]
+        scanned = run_collective(scan_butterfly, xs, CONCAT).values
+        assert list(scanned) == scan_fn(CONCAT, xs)

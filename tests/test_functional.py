@@ -201,3 +201,41 @@ class TestDefinedEqual:
 
     def test_real_mismatch(self):
         assert not defined_equal([1, 2], [1, 3])
+
+
+class TestEdgeCases:
+    """Degenerate shapes: p=1 machines, empty blocks, all-undefined lists."""
+
+    def test_defined_equal_all_undefined(self):
+        # an all-undefined list is equal to anything of the same length
+        assert defined_equal([UNDEF, UNDEF], [UNDEF, UNDEF])
+        assert defined_equal([UNDEF, UNDEF], [1, "x"])
+        assert defined_equal([], [])
+        assert not defined_equal([UNDEF, UNDEF], [UNDEF])
+
+    def test_p1_scan_is_identity(self):
+        assert scan_fn(ADD, [7]) == [7]
+        assert scan_fn(CONCAT, [(1, 2)]) == [(1, 2)]
+
+    def test_p1_reduce_is_identity(self):
+        assert reduce_fn(ADD, [7]) == [7]
+
+    def test_p1_allreduce_and_bcast(self):
+        assert allreduce_fn(MUL, [7]) == [7]
+        assert bcast_fn([7]) == [7]
+
+    def test_p1_comcast(self):
+        # rank 0 applies g zero times: comcast on one block is the block
+        assert comcast_fn(lambda b: b * 2, [5]) == [5]
+
+    def test_empty_blocks_through_concat(self):
+        xs = [(), (1,), (), (2, 3)]
+        assert scan_fn(CONCAT, xs) == [(), (1,), (1,), (1, 2, 3)]
+        reduced = reduce_fn(CONCAT, xs)
+        assert reduced[0] == (1, 2, 3)
+        assert all(b is UNDEF for b in reduced[1:])
+
+    def test_all_empty_blocks(self):
+        xs = [(), (), ()]
+        assert scan_fn(CONCAT, xs) == [(), (), ()]
+        assert reduce_fn(CONCAT, xs)[0] == ()

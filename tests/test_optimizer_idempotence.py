@@ -1,0 +1,73 @@
+"""The optimizer is a fixpoint operator: optimizing twice changes nothing.
+
+``optimize`` claims to return the best program reachable under the rule
+set; if re-optimizing its output ever found another rewrite (or a lower
+cost), that claim would be false.  Checked across every apps/ builder —
+the realistic pipelines, not just fuzzed ones — under several machine
+regimes and both strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.example_program import (
+    build_composed_pipeline,
+    build_example,
+    build_next_example,
+)
+from repro.apps.polyeval import build_polyeval_1, build_polyeval_3, derive_polyeval_2
+from repro.apps.recurrences import affine_recurrence_program, fibonacci_program
+from repro.apps.shortestpath import apsp_program
+from repro.core.cost import LOW_LATENCY, PARSYTEC_LIKE, MachineParams, program_cost
+from repro.core.optimizer import optimize
+from repro.core.rules import ALL_RULES, FULL_RULES
+
+PROGRAMS = {
+    "example": build_example(),
+    "next-example": build_next_example(),
+    "composed": build_composed_pipeline(),
+    "polyeval-1": build_polyeval_1([1.0, 2.0, 3.0]),
+    "polyeval-2": derive_polyeval_2([1.0, 2.0, 3.0], p=8),
+    "polyeval-3": build_polyeval_3([1.0, 2.0, 3.0], p=8),
+    "affine": affine_recurrence_program(1.0),
+    "fibonacci": fibonacci_program(),
+    "apsp": apsp_program(4),
+}
+
+MACHINES = {
+    "parsytec": PARSYTEC_LIKE,
+    "low-latency": LOW_LATENCY,
+    "tiny": MachineParams(p=2, ts=1.0, tw=0.5, m=1),
+}
+
+
+def _signature(program) -> str:
+    return program.pretty()
+
+
+@pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("rules", [ALL_RULES, FULL_RULES],
+                         ids=["all", "full"])
+def test_optimize_is_idempotent(prog_name, machine_name, rules):
+    prog = PROGRAMS[prog_name]
+    params = MACHINES[machine_name]
+    once = optimize(prog, params, rules=rules)
+    twice = optimize(once.program, params, rules=rules)
+    assert _signature(twice.program) == _signature(once.program), (
+        f"re-optimizing {prog_name} on {machine_name} changed the program"
+    )
+    assert twice.cost_after == pytest.approx(once.cost_after)
+    # and the reported cost is the true model cost of the returned program
+    assert program_cost(once.program, params) == pytest.approx(once.cost_after)
+
+
+@pytest.mark.parametrize("prog_name", sorted(PROGRAMS))
+def test_greedy_strategy_idempotent(prog_name):
+    prog = PROGRAMS[prog_name]
+    params = PARSYTEC_LIKE
+    once = optimize(prog, params, rules=ALL_RULES, strategy="greedy")
+    twice = optimize(once.program, params, rules=ALL_RULES, strategy="greedy")
+    assert _signature(twice.program) == _signature(once.program)
+    assert twice.cost_after == pytest.approx(once.cost_after)

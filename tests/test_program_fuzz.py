@@ -98,10 +98,14 @@ def test_optimizer_preserves_fuzzed_programs(prog, p, seed, ts, tw, m):
     params = MachineParams(p=p, ts=ts, tw=tw, m=m)
     res = optimize(prog, params, rules=FULL_RULES)
 
-    assert res.cost_after <= res.cost_before + 1e-9
+    assert res.cost_after <= res.cost_before + 1e-9, (
+        f"cost rose {res.cost_before} -> {res.cost_after} for "
+        f"{prog.pretty()} [replay: seed={seed}, p={p}, ts={ts}, tw={tw}, m={m}]"
+    )
     optimized = res.program.run(xs)
     assert defined_equal(reference, optimized), (
-        f"{prog.pretty()} != {res.program.pretty()} on {xs}"
+        f"{prog.pretty()} != {res.program.pretty()} on {xs} "
+        f"[replay: seed={seed}, p={p}, ts={ts}, tw={tw}, m={m}]"
     )
 
 
@@ -125,13 +129,22 @@ def test_fuzzed_program_simulation_matches_model(prog, p, seed):
     # obligatory synchronization between two subsequent collective
     # operations"), so simulation is bounded by the model but may beat it.
     model = program_cost(prog, params)
-    assert sim.time <= model + 1e-6
+    assert sim.time <= model + 1e-6, (
+        f"simulated {sim.time} > model {model} for {prog.pretty()} "
+        f"[replay: seed={seed}, p={p}]"
+    )
     slowest_stage = max(
         (program_cost(Program([st]), params) for st in prog.stages),
         default=0.0,
     )
-    assert sim.time >= slowest_stage - 1e-6
-    assert defined_equal(prog.run(xs), list(sim.values))
+    assert sim.time >= slowest_stage - 1e-6, (
+        f"simulated {sim.time} < slowest stage {slowest_stage} for "
+        f"{prog.pretty()} [replay: seed={seed}, p={p}]"
+    )
+    assert defined_equal(prog.run(xs), list(sim.values)), (
+        f"simulator output differs from reference on {xs} for "
+        f"{prog.pretty()} [replay: seed={seed}, p={p}]"
+    )
 
 
 @given(prog=random_programs(), p=st.sampled_from([4, 8]))
