@@ -26,7 +26,11 @@ Subcommands
 ``conformance``
     Randomized multi-backend conformance run: differential testing of
     all execution backends, rule-soundness and cost-monotonicity checks
-    (see ``docs/TESTING.md``).
+    (see ``docs/TESTING.md``).  With ``--chaos``, replay generated
+    programs under sampled fault plans instead (see ``docs/FAULTS.md``).
+``faults demo``
+    Deterministic walkthrough of the fault-injection layer: retry
+    recovery, dead-link timeouts, crash degradation, engine agreement.
 
 Machine parameters are given as ``--p/--ts/--tw/--m``; operator names in
 program files resolve against a built-in environment (``add mul max min
@@ -156,6 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also exercise the extension rules")
     p_cf.add_argument("--max-failures", type=int, default=5,
                       help="stop after this many failures (default 5)")
+    p_cf.add_argument("--chaos", action="store_true",
+                      help="run cases under sampled fault plans instead "
+                           "(see docs/FAULTS.md)")
+    p_cf.add_argument("--plans", type=int, default=3,
+                      help="fault plans per case in --chaos mode (default 3)")
+
+    p_fl = subs.add_parser("faults",
+                           help="fault-injection layer utilities")
+    p_fl.add_argument("action", choices=("demo",),
+                      help="'demo': deterministic fault-layer walkthrough")
 
     return parser
 
@@ -300,9 +314,15 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
-    from repro.testing import run_conformance
+    from repro.testing import run_chaos, run_conformance
 
     rules = FULL_RULES if args.extensions else ALL_RULES
+    if args.chaos:
+        chaos = run_chaos(seed=args.seed, iters=args.iters, rules=rules,
+                          plans_per_case=args.plans,
+                          max_failures=args.max_failures)
+        print(chaos.describe())
+        return 0 if chaos.ok else 1
     report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
                              max_failures=args.max_failures)
     print(report.describe())
@@ -310,6 +330,13 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         print("warning: not every paper rule was covered both ways "
               "(increase --iters)", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.demo import run_demo
+
+    print(run_demo())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -351,6 +378,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figures(args)
     if args.command == "conformance":
         return _cmd_conformance(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return 2  # pragma: no cover
 
 

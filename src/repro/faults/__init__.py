@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the simulated collective stack.
+
+The paper's machine model (§4.1) assumes a perfect network.  This package
+relaxes that assumption without touching the happy-path cost model: a
+:class:`FaultPlan` describes message drops, delays, duplicates, link
+jitter and rank crashes as pure, seed-replayable data; both execution
+engines interpret it through a shared :class:`FaultState`, so the same
+plan produces the same clocks, the same ``UNDEF`` degradation and the
+same typed errors on the cooperative and the threaded substrate.
+
+See ``docs/FAULTS.md`` for the fault model and its relation to the
+paper's cost model, and ``python -m repro faults demo`` for a guided
+tour.  ``python -m repro conformance --chaos`` runs every generated
+program under sampled fault plans and checks the stack's robustness
+properties end to end.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    FaultTimeoutError,
+    PeerDeadError,
+    RankCrashedError,
+)
+from repro.faults.plan import FaultPlan, LinkFault, RankCrash
+from repro.faults.state import Delivery, FaultState, FaultSummary
+
+__all__ = [
+    "FaultError",
+    "FaultTimeoutError",
+    "PeerDeadError",
+    "RankCrashedError",
+    "FaultPlan",
+    "LinkFault",
+    "RankCrash",
+    "Delivery",
+    "FaultState",
+    "FaultSummary",
+]

@@ -1,0 +1,228 @@
+"""Deterministic, seed-replayable fault plans.
+
+A :class:`FaultPlan` is pure data: *which* messages on *which* links
+misbehave, and *which* ranks crash at *which* virtual clock.  Both
+execution engines (:mod:`repro.machine.engine` and
+:mod:`repro.mpi.threaded`) consume the same plan through a shared
+:class:`~repro.faults.state.FaultState`, so a plan produces the same
+clocks, the same degradation pattern and the same typed errors on either
+substrate — a property the chaos conformance mode checks on every run.
+
+The happy-path cost model is untouched: with no plan (or an empty one)
+simulated clocks and statistics are bit-identical to a fault-free build.
+Faults only ever *add* model time — retry penalties, delivery delays,
+jitter — on top of the paper's ``ts + words*tw``.
+
+Determinism rules:
+
+* link faults address the *n*-th message on a directed link, and per-link
+  message order is fixed by the rank programs, not by scheduling;
+* jitter is derived from ``(seed, src, dst, message index)`` with an
+  explicit LCG-style mix, never from Python's randomized ``hash``;
+* crashes trigger when the victim's own virtual clock reaches
+  ``at_clock`` at its next communication action — a point both engines
+  visit identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["LinkFault", "RankCrash", "FaultPlan"]
+
+#: fault kinds a LinkFault may take
+_KINDS = ("drop", "delay", "dup")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Misbehaviour of the directed link ``src -> dst``.
+
+    Applies to message indices ``first <= n < first + count`` on that
+    link (``count=None`` means *every* message from ``first`` on — a dead
+    link when ``kind='drop'``).  Kinds:
+
+    * ``'drop'``  — the rendezvous attempt is lost; the pair retries with
+      exponential backoff and surfaces ``FaultTimeoutError`` once the
+      retry budget is exhausted;
+    * ``'delay'`` — delivery succeeds but ``delay`` extra time units are
+      charged to both endpoints;
+    * ``'dup'``   — the message is delivered twice; the duplicate is
+      discarded by the receiver but its wire time is charged.
+    """
+
+    src: int
+    dst: int
+    kind: str = "drop"
+    first: int = 0
+    count: int | None = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if self.src == self.dst:
+            raise ValueError("a link fault needs two distinct endpoints")
+        if self.first < 0 or (self.count is not None and self.count < 1):
+            raise ValueError("invalid fault message window")
+        if self.delay < 0:
+            raise ValueError("negative fault delay")
+
+    def applies(self, n: int) -> bool:
+        if n < self.first:
+            return False
+        return self.count is None or n < self.first + self.count
+
+    def describe(self) -> str:
+        window = ("forever" if self.count is None
+                  else f"msg {self.first}..{self.first + self.count - 1}")
+        extra = f" (+{self.delay:g})" if self.kind == "delay" else ""
+        return f"{self.kind}{extra} on {self.src}->{self.dst} [{window}]"
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` fails permanently once its clock reaches ``at_clock``.
+
+    The crash takes effect at the victim's next *communication* action
+    (local computation in flight completes first) — the same boundary in
+    both engines, which keeps crash schedules replayable.
+    """
+
+    rank: int
+    at_clock: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("invalid crash rank")
+        if self.at_clock < 0:
+            raise ValueError("crash clock cannot be negative")
+
+    def describe(self) -> str:
+        return f"crash rank {self.rank} at t={self.at_clock:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule for a simulated run.
+
+    ``retry_timeout`` is the model time charged for the first dropped
+    delivery attempt (``None``: twice the message's own ``ts + words*tw``),
+    growing by ``backoff`` per further attempt; after ``max_retries``
+    retries the pair raises :class:`~repro.faults.errors.FaultTimeoutError`.
+    ``jitter`` adds a deterministic pseudo-random extra delay in
+    ``[0, jitter)`` to every delivered message, derived from ``seed``.
+    """
+
+    link_faults: tuple[LinkFault, ...] = ()
+    crashes: tuple[RankCrash, ...] = ()
+    jitter: float = 0.0
+    seed: int = 0
+    max_retries: int = 3
+    backoff: float = 2.0
+    retry_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise ValueError("negative jitter")
+        if self.max_retries < 0:
+            raise ValueError("negative retry budget")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.retry_timeout is not None and self.retry_timeout < 0:
+            raise ValueError("negative retry timeout")
+
+    # -- queries used by FaultState -----------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this plan cannot perturb a run at all."""
+        return not self.link_faults and not self.crashes and self.jitter == 0
+
+    def crash_clock(self, rank: int) -> float | None:
+        clocks = [c.at_clock for c in self.crashes if c.rank == rank]
+        return min(clocks) if clocks else None
+
+    def verdict(self, src: int, dst: int, n: int) -> tuple[str | None, float]:
+        """(kind, delay) for the ``n``-th message on ``src -> dst``.
+
+        The first matching :class:`LinkFault` wins; ``(None, 0.0)`` means
+        the message is delivered cleanly.
+        """
+        for fault in self.link_faults:
+            if fault.src == src and fault.dst == dst and fault.applies(n):
+                return fault.kind, fault.delay
+        return None, 0.0
+
+    def jitter_for(self, src: int, dst: int, n: int) -> float:
+        """Deterministic per-message jitter (hash-randomization free)."""
+        if self.jitter == 0:
+            return 0.0
+        mix = (((self.seed * 1_000_003 + src) * 8191 + dst) * 65_537 + n)
+        return random.Random(mix).uniform(0.0, self.jitter)
+
+    def retry_penalty(self, attempt: int, base_cost: float) -> float:
+        """Model time wasted by the ``attempt``-th (0-based) drop."""
+        base = (2.0 * base_cost if self.retry_timeout is None
+                else self.retry_timeout)
+        return base * (self.backoff ** attempt)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def sample(cls, seed: int, p: int, horizon: float = 10.0) -> "FaultPlan":
+        """Draw a random plan for a ``p``-rank machine, replayable from ``seed``.
+
+        ``horizon`` should approximate the fault-free makespan so crash
+        clocks and delays land inside the run.  The mix of fault kinds is
+        tuned for chaos testing: mostly transient (recoverable) drops and
+        delays, occasionally a dead link or a crashed rank.
+        """
+        rng = random.Random(seed)
+        horizon = max(horizon, 1.0)
+        faults: list[LinkFault] = []
+        crashes: list[RankCrash] = []
+        jitter = 0.0
+        if p > 1:
+            if rng.random() < 0.25:
+                crashes.append(RankCrash(rank=rng.randrange(p),
+                                         at_clock=rng.uniform(0, 1.1 * horizon)))
+            for _ in range(rng.randint(0, 2)):
+                src = rng.randrange(p)
+                dst = rng.randrange(p)
+                if src == dst:
+                    continue
+                roll = rng.random()
+                if roll < 0.55:
+                    faults.append(LinkFault(src, dst, "drop",
+                                            first=rng.randint(0, 2),
+                                            count=rng.randint(1, 2)))
+                elif roll < 0.65:  # dead link: retries cannot save it
+                    faults.append(LinkFault(src, dst, "drop",
+                                            first=rng.randint(0, 2), count=None))
+                elif roll < 0.85:
+                    faults.append(LinkFault(src, dst, "delay",
+                                            first=rng.randint(0, 2),
+                                            count=rng.randint(1, 2),
+                                            delay=rng.uniform(0, horizon / 4)))
+                else:
+                    faults.append(LinkFault(src, dst, "dup",
+                                            first=rng.randint(0, 2),
+                                            count=1))
+            if rng.random() < 0.3:
+                jitter = rng.uniform(0, horizon / 20)
+            if not faults and not crashes and jitter == 0:
+                faults.append(LinkFault(0, 1, "drop", first=0, count=1))
+        return cls(link_faults=tuple(faults), crashes=tuple(crashes),
+                   jitter=jitter, seed=seed)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return f"fault plan (seed={self.seed}): empty"
+        parts = [f.describe() for f in self.link_faults]
+        parts += [c.describe() for c in self.crashes]
+        if self.jitter:
+            parts.append(f"jitter < {self.jitter:g}")
+        return f"fault plan (seed={self.seed}): " + "; ".join(parts)

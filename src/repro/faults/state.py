@@ -1,0 +1,156 @@
+"""Runtime fault bookkeeping shared by both execution engines.
+
+One :class:`FaultState` lives for one simulated run.  It owns the mutable
+side of fault injection — per-link message counters, the set of crashed
+ranks, retry/timeout tallies — while the :class:`~repro.faults.plan.FaultPlan`
+it interprets stays immutable and replayable.
+
+The central entry point is :meth:`FaultState.resolve`: called by an
+engine the moment a rendezvous pair *matches*, it plays the message's
+delivery attempts against the plan (drops, retries with backoff, delays,
+duplicates, jitter) and returns either the extra model time to charge or
+a timeout verdict.  Resolving at match time keeps both engines identical:
+a dropped message is pure extra latency when a retry succeeds, and a
+typed :class:`~repro.faults.errors.FaultTimeoutError` when the link is
+dead — never a hang.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["Delivery", "FaultState", "FaultSummary"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of resolving one rendezvous against the plan."""
+
+    extra_delay: float
+    drops: int
+    timed_out: bool
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Immutable forensic record of everything that fired during a run."""
+
+    deaths: tuple[tuple[int, float], ...] = ()
+    drops: tuple[tuple[tuple[int, int], int], ...] = ()
+    timeouts: tuple[tuple[int, int], ...] = ()
+    retries: int = 0
+    duplicates: int = 0
+    extra_delay: float = 0.0
+
+    @property
+    def any_fired(self) -> bool:
+        return bool(self.deaths or self.drops or self.timeouts
+                    or self.duplicates or self.extra_delay)
+
+    def describe(self) -> str:
+        lines = ["fault summary:"]
+        for rank, clock in self.deaths:
+            lines.append(f"  rank {rank} died at t={clock:g}")
+        for (src, dst), n in self.drops:
+            lines.append(f"  link {src}->{dst}: {n} drop(s)")
+        for src, dst in self.timeouts:
+            lines.append(f"  link {src}->{dst}: TIMED OUT")
+        if self.retries:
+            lines.append(f"  retries: {self.retries}")
+        if self.duplicates:
+            lines.append(f"  duplicates delivered: {self.duplicates}")
+        if self.extra_delay:
+            lines.append(f"  extra model time charged: {self.extra_delay:g}")
+        if len(lines) == 1:
+            lines.append("  (nothing fired)")
+        return "\n".join(lines)
+
+
+class FaultState:
+    """Mutable per-run interpreter of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._msg_idx: dict[tuple[int, int], int] = {}
+        self._crash_clock = {c.rank: plan.crash_clock(c.rank)
+                             for c in plan.crashes}
+        self.dead: dict[int, float] = {}
+        self.drops: Counter = Counter()
+        self.timeouts: list[tuple[int, int]] = []
+        self.retries = 0
+        self.duplicates = 0
+        self.extra_delay = 0.0
+
+    # -- crashes -------------------------------------------------------------
+
+    def should_crash(self, rank: int, clock: float) -> bool:
+        """Is ``rank`` scheduled to die at or before ``clock`` (and not yet)?"""
+        at = self._crash_clock.get(rank)
+        return at is not None and rank not in self.dead and clock >= at
+
+    def record_death(self, rank: int, clock: float) -> None:
+        self.dead.setdefault(rank, clock)
+
+    def is_dead(self, rank: int) -> bool:
+        return rank in self.dead
+
+    def death_clock(self, rank: int) -> float:
+        return self.dead[rank]
+
+    # -- message delivery ----------------------------------------------------
+
+    def resolve(self, src: int, dst: int, base_cost: float,
+                exchange: bool = False) -> Delivery:
+        """Play one matched rendezvous against the plan.
+
+        ``base_cost`` is the message's own wire time (``ts + words*tw``),
+        used for adaptive retry penalties and duplicate charges.  For an
+        ``exchange`` (SendRecv pair) both directed links are consulted; a
+        drop on either direction drops the whole exchange.
+        """
+        plan = self.plan
+        extra = 0.0
+        drops_here = 0
+        while True:
+            dropped = False
+            links = ((src, dst), (dst, src)) if exchange else ((src, dst),)
+            for a, b in links:
+                n = self._msg_idx.get((a, b), 0)
+                self._msg_idx[(a, b)] = n + 1
+                kind, delay = plan.verdict(a, b, n)
+                if kind == "drop":
+                    dropped = True
+                    self.drops[(a, b)] += 1
+                elif kind == "delay":
+                    extra += delay
+                elif kind == "dup":
+                    self.duplicates += 1
+                    extra += base_cost
+                extra += plan.jitter_for(a, b, n)
+            if not dropped:
+                self.extra_delay += extra
+                return Delivery(extra_delay=extra, drops=drops_here,
+                                timed_out=False)
+            if drops_here >= plan.max_retries:
+                self.timeouts.append((src, dst))
+                self.extra_delay += extra
+                return Delivery(extra_delay=extra, drops=drops_here + 1,
+                                timed_out=True)
+            extra += plan.retry_penalty(drops_here, base_cost)
+            drops_here += 1
+            self.retries += 1
+
+    # -- forensics -----------------------------------------------------------
+
+    def summary(self) -> FaultSummary:
+        return FaultSummary(
+            deaths=tuple(sorted(self.dead.items())),
+            drops=tuple(sorted(self.drops.items())),
+            timeouts=tuple(self.timeouts),
+            retries=self.retries,
+            duplicates=self.duplicates,
+            extra_delay=self.extra_delay,
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.derived_ops import SRTreeOp, SSButterflyOp
+from repro.faults import PeerDeadError
 from repro.machine.collectives.bcast import bcast_binomial
 from repro.machine.primitives import RankContext
 from repro.semantics.functional import UNDEF
@@ -30,6 +31,12 @@ __all__ = [
     "allreduce_balanced_machine",
     "scan_balanced_butterfly",
 ]
+
+#: distinct from UNDEF, which reduce_balanced_tree already uses to mean
+#: "this node was merged away": a state whose value was lost to a crash.
+#: Poisoned states flow through the unchanged schedule and surface as
+#: UNDEF blocks at the end, never as wrong defined values.
+_POISONED = object()
 
 
 def _level_pairing(positions: list[int]) -> tuple[int | None, list[tuple[int, int]]]:
@@ -58,23 +65,37 @@ def reduce_balanced_tree(ctx: RankContext, state: Any, tree_op: SRTreeOp):
         lone, pairs = _level_pairing(positions)
         new_positions = [] if lone is None else [lone]
         if rank == lone:
-            # ()-case: one ⊕ per element (u ⊕ u)
-            yield from ctx.compute(tree_op.op.op_count * m)
-            state = tree_op.combine_empty(state)
+            if state is _POISONED:
+                pass  # degraded subtree state stays degraded
+            else:
+                # ()-case: one ⊕ per element (u ⊕ u)
+                yield from ctx.compute(tree_op.op.op_count * m)
+                state = tree_op.combine_empty(state)
         for left, right in pairs:
             new_positions.append(left)
             if rank == right:
-                yield from ctx.send(left, state, words)
+                try:
+                    yield from ctx.send(left, state, words)
+                except PeerDeadError:
+                    pass  # our parent died; the subtree degrades at the root
                 state = UNDEF
             elif rank == left:
-                other = yield from ctx.recv(right)
-                yield from ctx.compute(tree_op.op_count * m)
-                state = tree_op.combine(state, other)
+                try:
+                    other = yield from ctx.recv(right)
+                except PeerDeadError:
+                    other = _POISONED  # right sibling's subtree is lost
+                if state is _POISONED or other is _POISONED:
+                    state = _POISONED
+                else:
+                    yield from ctx.compute(tree_op.op_count * m)
+                    state = tree_op.combine(state, other)
         positions = new_positions
         if state is UNDEF:
             # This rank's node was merged away; it only observes the rest.
             return UNDEF
-    return tree_op.project(state) if rank == 0 else UNDEF
+    if rank != 0:
+        return UNDEF
+    return UNDEF if state is _POISONED else tree_op.project(state)
 
 
 def allreduce_balanced_machine(ctx: RankContext, state: Any, tree_op: SRTreeOp):
@@ -97,14 +118,20 @@ def allreduce_balanced_machine(ctx: RankContext, state: Any, tree_op: SRTreeOp):
     d = 1
     while d < p:
         partner = rank ^ d
-        other = yield from ctx.sendrecv(partner, state, words)
-        yield from ctx.compute(tree_op.op_count * m)
-        if rank < partner:
-            state = tree_op.combine(state, other)
+        try:
+            other = yield from ctx.sendrecv(partner, state, words)
+        except PeerDeadError:
+            other = _POISONED  # partner's half of the butterfly is lost
+        if state is _POISONED or other is _POISONED:
+            state = _POISONED
         else:
-            state = tree_op.combine(other, state)
+            yield from ctx.compute(tree_op.op_count * m)
+            if rank < partner:
+                state = tree_op.combine(state, other)
+            else:
+                state = tree_op.combine(other, state)
         d *= 2
-    return tree_op.project(state)
+    return UNDEF if state is _POISONED else tree_op.project(state)
 
 
 def scan_balanced_butterfly(ctx: RankContext, state: Any, bfly_op: SSButterflyOp):
@@ -124,16 +151,25 @@ def scan_balanced_butterfly(ctx: RankContext, state: Any, bfly_op: SSButterflyOp
     while d < p:
         partner = rank ^ d
         if partner >= p:
-            state = bfly_op.missing(state)
+            if state is not _POISONED:
+                state = bfly_op.missing(state)
         else:
-            _s, t, u, v = state
-            t2, u2, v2 = yield from ctx.sendrecv(partner, (t, u, v), words)
-            other = (UNDEF, t2, u2, v2)
-            if rank < partner:
-                yield from ctx.compute(5 * base * m)
-                state, _ = bfly_op.combine(state, other)
+            payload = (_POISONED if state is _POISONED
+                       else state[1:])  # share only (t, u, v)
+            try:
+                received = yield from ctx.sendrecv(partner, payload, words)
+            except PeerDeadError:
+                received = _POISONED  # partner's block range is lost
+            if state is _POISONED or received is _POISONED:
+                state = _POISONED
             else:
-                yield from ctx.compute(8 * base * m)
-                _, state = bfly_op.combine(other, state)
+                t2, u2, v2 = received
+                other = (UNDEF, t2, u2, v2)
+                if rank < partner:
+                    yield from ctx.compute(5 * base * m)
+                    state, _ = bfly_op.combine(state, other)
+                else:
+                    yield from ctx.compute(8 * base * m)
+                    _, state = bfly_op.combine(other, state)
         d *= 2
-    return bfly_op.project(state)
+    return UNDEF if state is _POISONED else bfly_op.project(state)

@@ -4,13 +4,21 @@
 block forwards it to its partner at distance ``2^d``.  Per-phase cost is
 one message of ``m*width`` words, so ``T_bcast = log p * (ts + m*tw)`` for
 scalar elements — exactly the paper's estimate.
+
+Self-stabilization under fault injection: a crashed forwarder poisons its
+subtree only — ranks whose parent died receive ``PeerDeadError`` from the
+engine, adopt ``UNDEF`` as their block and keep forwarding it down the
+unchanged schedule, so every surviving rank terminates and the hole stays
+confined to the dead subtree.  The happy path is untouched.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.faults import PeerDeadError
 from repro.machine.primitives import RankContext
+from repro.semantics.functional import UNDEF
 
 __all__ = ["bcast_binomial"]
 
@@ -29,8 +37,14 @@ def bcast_binomial(ctx: RankContext, value: Any, root: int = 0, width: int = 1):
         if rel < d:
             dst = rel + d
             if dst < p:
-                yield from ctx.send((dst + root) % p, value, words)
+                try:
+                    yield from ctx.send((dst + root) % p, value, words)
+                except PeerDeadError:
+                    pass  # the subtree head died; its subtree degrades
         elif rel < 2 * d:
-            value = yield from ctx.recv((rel - d + root) % p)
+            try:
+                value = yield from ctx.recv((rel - d + root) % p)
+            except PeerDeadError:
+                value = UNDEF  # block lost; forward the hole, don't stall
         d *= 2
     return value

@@ -26,9 +26,10 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.derived_ops import ComcastOp
+from repro.faults import PeerDeadError
 from repro.machine.collectives.bcast import bcast_binomial
 from repro.machine.primitives import RankContext
-from repro.semantics.functional import repeat_fn
+from repro.semantics.functional import UNDEF, repeat_fn
 
 __all__ = ["comcast_bcast_repeat", "comcast_doubling"]
 
@@ -38,6 +39,8 @@ def comcast_bcast_repeat(ctx: RankContext, value: Any, op: ComcastOp):
     p, rank = ctx.size, ctx.rank
     m = ctx.params.m
     value = yield from bcast_binomial(ctx, value, root=0, width=1)
+    if value is UNDEF:
+        return UNDEF  # the broadcast degraded; no block to iterate on
     digits = rank.bit_length()  # repeat touches one digit per bit of k
     if digits:
         yield from ctx.compute(digits * op.op_count * m)
@@ -61,12 +64,20 @@ def comcast_doubling(ctx: RankContext, value: Any, op: ComcastOp):
         if rank < d:
             dst = rank + d
             if dst < p:
-                yield from ctx.send(dst, state, words)
-            yield from ctx.compute(op.op_count * m)
-            state = op.even(state)       # own digit d is 0
+                try:
+                    yield from ctx.send(dst, state, words)
+                except PeerDeadError:
+                    pass  # the receiving half of the pipeline degrades
+            if state is not UNDEF:
+                yield from ctx.compute(op.op_count * m)
+                state = op.even(state)   # own digit d is 0
         elif rank < 2 * d:
-            state = yield from ctx.recv(rank - d)
-            yield from ctx.compute(op.op_count * m)
-            state = op.odd(state)        # own digit d is 1
+            try:
+                state = yield from ctx.recv(rank - d)
+            except PeerDeadError:
+                state = UNDEF  # our pipeline ancestor died
+            if state is not UNDEF:
+                yield from ctx.compute(op.op_count * m)
+                state = op.odd(state)    # own digit d is 1
         d *= 2
-    return op.project(state)
+    return UNDEF if state is UNDEF else op.project(state)

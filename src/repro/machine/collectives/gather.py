@@ -17,41 +17,50 @@ from repro.semantics.functional import UNDEF
 __all__ = ["gather_binomial", "scatter_binomial", "allgather_ring", "allgather_doubling"]
 
 
-def gather_binomial(ctx: RankContext, value: Any, width: int = 1):
-    """Gather every rank's block to rank 0 (list ordered by rank).
+def gather_binomial(ctx: RankContext, value: Any, width: int = 1, root: int = 0):
+    """Gather every rank's block to ``root`` (list ordered by rank).
 
-    Rank 0 returns ``[x_0, ..., x_{p-1}]``; other ranks return ``_``.
-    Mirror image of the binomial broadcast: in phase ``d`` (descending),
-    ranks at distance ``2^d`` ship their accumulated segments down.
+    The root returns ``[x_0, ..., x_{p-1}]``; other ranks return ``_``.
+    Mirror image of the binomial broadcast over rotated ranks: in phase
+    ``d`` (ascending), relative ranks at distance ``2^d`` ship their
+    accumulated segments down.  Segments are keyed by *true* rank, so any
+    root yields the same rank-ordered list at zero extra cost.
     """
     p, rank = ctx.size, ctx.rank
+    if not (0 <= root < p):
+        raise ValueError(f"invalid gather root {root} for {p} ranks")
     m = ctx.params.m
+    rel = (rank - root) % p
     segment: dict[int, Any] = {rank: value}
     d = 1
     while d < p:
-        if rank % (2 * d) == d:
-            dst = rank - d
+        if rel % (2 * d) == d:
+            dst = (rel - d + root) % p
             yield from ctx.send(dst, segment, len(segment) * m * width)
             segment = {}
-        elif rank % (2 * d) == 0 and rank + d < p:
-            received = yield from ctx.recv(rank + d)
+        elif rel % (2 * d) == 0 and rel + d < p:
+            received = yield from ctx.recv((rel + d + root) % p)
             segment.update(received)
         d *= 2
-    if rank == 0:
+    if rank == root:
         return [segment[i] for i in range(p)]
     return UNDEF
 
 
-def scatter_binomial(ctx: RankContext, values: Any, width: int = 1):
-    """Scatter a root list: rank ``i`` ends up with ``values[i]``.
+def scatter_binomial(ctx: RankContext, values: Any, width: int = 1, root: int = 0):
+    """Scatter the root's list: rank ``i`` ends up with ``values[i]``.
 
-    Only rank 0's ``values`` argument is read (a list of ``p`` blocks);
-    follows the halving binomial tree, each message carrying the target
-    subtree's blocks.
+    Only the root's ``values`` argument is read (a list of ``p`` blocks);
+    follows the halving binomial tree over rotated ranks, each message
+    carrying the target subtree's blocks keyed by true rank — so any
+    root works at zero extra cost.
     """
     p, rank = ctx.size, ctx.rank
+    if not (0 <= root < p):
+        raise ValueError(f"invalid scatter root {root} for {p} ranks")
     m = ctx.params.m
-    if rank == 0:
+    rel = (rank - root) % p
+    if rank == root:
         if values is None or len(values) != p:
             raise ValueError("scatter root needs exactly one block per rank")
         segment = {i: v for i, v in enumerate(values)}
@@ -63,17 +72,21 @@ def scatter_binomial(ctx: RankContext, values: Any, width: int = 1):
     while top * 2 < p:
         top *= 2
 
+    def rel_of(i: int) -> int:
+        return (i - root) % p
+
     d = top
     while d >= 1:
-        if segment is not None and rank % (2 * d) == 0:
-            dst = rank + d
+        if segment is not None and rel % (2 * d) == 0:
+            dst = rel + d
             if dst < p:
-                to_send = {i: v for i, v in segment.items() if i >= dst}
-                segment = {i: v for i, v in segment.items() if i < dst}
+                to_send = {i: v for i, v in segment.items() if rel_of(i) >= dst}
+                segment = {i: v for i, v in segment.items() if rel_of(i) < dst}
                 if to_send:
-                    yield from ctx.send(dst, to_send, len(to_send) * m * width)
-        elif segment is None and rank % (2 * d) == d:
-            segment = yield from ctx.recv(rank - d)
+                    yield from ctx.send((dst + root) % p, to_send,
+                                        len(to_send) * m * width)
+        elif segment is None and rel % (2 * d) == d:
+            segment = yield from ctx.recv((rel - d + root) % p)
         d //= 2
     assert segment is not None and rank in segment
     return segment[rank]

@@ -12,6 +12,13 @@ exercise this with non-commutative operators).
 ``scan_hillis_steele`` is the textbook shifted-doubling alternative with a
 single combine per phase, and ``scan_blelloch`` the work-efficient
 up/down-sweep tree — both kept as ablation substrates.
+
+Self-stabilization under fault injection (``scan_butterfly`` only): a
+crashed partner's running total degrades to ``UNDEF`` and poisons every
+combine that depends on it, so surviving ranks report either the true
+prefix or an ``UNDEF`` hole — never a silently wrong value — and the
+fixed butterfly schedule keeps all survivors in lockstep (no re-pairing,
+no deadlock).  The happy path is untouched.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.operators import BinOp
+from repro.faults import PeerDeadError
 from repro.machine.primitives import RankContext
+from repro.semantics.functional import UNDEF
 
 __all__ = ["scan_butterfly", "scan_hillis_steele", "scan_blelloch"]
 
@@ -35,15 +44,31 @@ def scan_butterfly(ctx: RankContext, value: Any, op: BinOp, width: int | None = 
     while d < p:
         partner = rank ^ d
         if partner < p:
-            other_total = yield from ctx.sendrecv(partner, total, w)
+            try:
+                other_total = yield from ctx.sendrecv(partner, total, w)
+            except PeerDeadError:
+                other_total = UNDEF  # partner's block range is lost
             if partner < rank:
-                # fold the lower block in front of our prefix: 2 combines
-                yield from ctx.compute(2 * op.op_count * m)
-                prefix = op(other_total, prefix)
-                total = op(other_total, total)
+                if other_total is UNDEF or prefix is UNDEF or total is UNDEF:
+                    # poison only what depends on a lost value: a defined
+                    # other_total may still complete a defined prefix
+                    if other_total is UNDEF or prefix is UNDEF:
+                        prefix = UNDEF
+                    else:
+                        yield from ctx.compute(op.op_count * m)
+                        prefix = op(other_total, prefix)
+                    total = UNDEF
+                else:
+                    # fold the lower block in front of our prefix: 2 combines
+                    yield from ctx.compute(2 * op.op_count * m)
+                    prefix = op(other_total, prefix)
+                    total = op(other_total, total)
             else:
-                yield from ctx.compute(op.op_count * m)
-                total = op(total, other_total)
+                if total is UNDEF or other_total is UNDEF:
+                    total = UNDEF
+                else:
+                    yield from ctx.compute(op.op_count * m)
+                    total = op(total, other_total)
         d *= 2
     return prefix
 

@@ -13,15 +13,32 @@ is the maximum clock over all processors after every rank returns.
 
 The simulator carries real payloads, so it checks *semantics* and
 *timing* in one run; deadlocks (mismatched protocols) are detected and
-reported with per-rank states.
+reported with per-rank states through :func:`describe_ranks`.
+
+Fault injection (:mod:`repro.faults`): passing a ``FaultPlan`` arms a
+deterministic fault layer — message drops resolve to bounded retries with
+backoff (or a typed ``FaultTimeoutError`` naming the dead link), rank
+crashes take effect at the victim's next communication action, and
+partners blocked on a crashed rank receive ``PeerDeadError`` at the
+blocked primitive (so fault-tolerant collectives can degrade to ``UNDEF``
+instead of deadlocking).  Without a plan the fault layer is never
+consulted and clocks/statistics are bit-identical to the fault-free
+model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Sequence
+from typing import Any, Callable, Generator, Iterable, Sequence
 
 from repro.core.cost import MachineParams
+from repro.faults import (
+    FaultPlan,
+    FaultState,
+    FaultSummary,
+    FaultTimeoutError,
+    PeerDeadError,
+)
 from repro.machine.primitives import (
     Action,
     Compute,
@@ -30,13 +47,42 @@ from repro.machine.primitives import (
     Recv,
     Send,
     SendRecv,
+    comm_partner,
+    pending_info,
 )
+from repro.semantics.functional import UNDEF
 
-__all__ = ["SimStats", "SimResult", "DeadlockError", "run_spmd"]
+__all__ = ["SimStats", "SimResult", "DeadlockError", "describe_ranks", "run_spmd"]
 
 
 class DeadlockError(RuntimeError):
     """No rank can make progress but some have not terminated."""
+
+
+def describe_ranks(entries: Iterable[tuple[int, Any, float, bool]]) -> str:
+    """Unified per-rank forensic report used by both execution engines.
+
+    ``entries`` yields ``(rank, pending_action, clock, done)`` tuples.
+    Blocked ranks are shown with their pending transfer ``(src, dst,
+    words)``; finished ranks are listed so a partial deadlock is easy to
+    localize.
+    """
+    lines = []
+    for rank, action, clock, done in entries:
+        if done:
+            lines.append(f"rank {rank}: finished at t={clock:g}")
+            continue
+        pend = pending_info(rank, action)
+        if pend is None:
+            lines.append(f"rank {rank}: running at t={clock:g}")
+            continue
+        src, dst, words = pend
+        words_txt = "?" if words is None else f"{words:g}"
+        lines.append(
+            f"rank {rank}: blocked on {action!r} at t={clock:g} "
+            f"[pending src={src} dst={dst} words={words_txt}]"
+        )
+    return "\n".join(lines)
 
 
 @dataclass
@@ -65,6 +111,8 @@ class SimResult:
     values: tuple[Any, ...]
     time: float
     stats: SimStats
+    #: forensic record of injected faults (None for fault-free runs)
+    faults: FaultSummary | None = None
 
 
 @dataclass
@@ -78,10 +126,19 @@ class _RankState:
 
 
 def _advance(state: _RankState, stats: SimStats, value: Any = None,
-             rank: int | None = None) -> None:
-    """Resume a rank generator, consuming Compute/Probe actions inline."""
+             rank: int | None = None,
+             throw: BaseException | None = None) -> None:
+    """Resume a rank generator, consuming Compute/Probe actions inline.
+
+    ``throw`` injects an exception at the suspended yield instead of a
+    value (used for fault delivery); if the program does not catch it,
+    the exception propagates to the engine's caller.
+    """
     try:
-        action = state.gen.send(value)
+        if throw is not None:
+            action = state.gen.throw(throw)
+        else:
+            action = state.gen.send(value)
         while isinstance(action, (Compute, Probe)):
             if isinstance(action, Compute):
                 state.clock += action.ops
@@ -100,16 +157,22 @@ def run_spmd(
     rank_fn: Callable[[RankContext, Any], Generator[Action, Any, Any]],
     inputs: Sequence[Any],
     params: MachineParams,
+    faults: FaultPlan | None = None,
 ) -> SimResult:
     """Run one SPMD program on every rank and simulate its execution.
 
     ``rank_fn(ctx, x)`` must be a generator function; ``inputs[i]`` is the
     initial block of processor ``i``.  Returns final values (the generator
     return values), the simulated makespan, and statistics.
+
+    ``faults`` arms the deterministic fault-injection layer; see the
+    module docstring.  A crashed rank's final value is ``UNDEF``.
     """
     p = len(inputs)
     if p == 0:
         raise ValueError("cannot simulate an empty machine")
+    fstate = (FaultState(faults)
+              if faults is not None and not faults.is_empty else None)
     stats = SimStats()
     states = [
         _RankState(gen=rank_fn(RankContext(r, p, params), inputs[r]))
@@ -122,22 +185,79 @@ def run_spmd(
     domains = params.contention_domains
     domain_free: dict = {}
 
-    def comm_complete(r: int, q: int, words: float) -> float:
+    def comm_complete(r: int, q: int, words: float, extra: float = 0.0) -> float:
         ts, tw = link(r, q)
         keys = domains(r, q)
         start = max(states[r].clock, states[q].clock,
                     *(domain_free.get(k, 0.0) for k in keys)) \
             if keys else max(states[r].clock, states[q].clock)
-        t = start + ts + tw * words
+        t = start + ts + tw * words + extra
         for k in keys:
             domain_free[k] = t
         return t
 
+    def _kill(r: int) -> None:
+        """Crash rank ``r`` at its current clock; its result is UNDEF."""
+        st = states[r]
+        fstate.record_death(r, st.clock)
+        st.gen.close()
+        st.done = True
+        st.waiting = None
+        st.result = UNDEF
+
+    def _resolve(r: int, q: int, words: float, exchange: bool):
+        """Match-time fault resolution; raises into both ranks on timeout."""
+        ts, tw = link(r, q)
+        outcome = fstate.resolve(r, q, ts + tw * words, exchange=exchange)
+        if not outcome.timed_out:
+            return outcome.extra_delay
+        t = max(states[r].clock, states[q].clock) + outcome.extra_delay
+        states[r].clock = states[q].clock = t
+        states[r].waiting = states[q].waiting = None
+        detail = describe_ranks(
+            (i, s.waiting, s.clock, s.done) for i, s in enumerate(states))
+        # both endpoints observe the dead link; an uncaught error aborts
+        # the run with the typed, seed-replayable exception
+        _advance(states[q], stats, rank=q, throw=FaultTimeoutError(
+            r, q, words, outcome.drops, t, detail))
+        _advance(states[r], stats, rank=r, throw=FaultTimeoutError(
+            r, q, words, outcome.drops, t, detail))
+        return None
+
+    def _crash_due(r: int) -> bool:
+        # A rank past its crash clock must never take part in a match:
+        # it may acquire a fresh action mid-sweep (after an earlier match
+        # advanced its clock) and would otherwise deliver one message the
+        # threaded engine — which checks at every submission — would not.
+        return fstate is not None and fstate.should_crash(r, states[r].clock)
+
     while True:
         progressed = False
+
+        if fstate is not None:
+            # 1. scheduled crashes: take effect at the next comm action
+            for r, st in enumerate(states):
+                if (not st.done and st.waiting is not None
+                        and fstate.should_crash(r, st.clock)):
+                    _kill(r)
+                    progressed = True
+            # 2. deliver PeerDeadError to ranks blocked on a crashed peer
+            for r, st in enumerate(states):
+                if st.waiting is None:
+                    continue
+                peer = comm_partner(st.waiting)
+                if peer is not None and fstate.is_dead(peer):
+                    pending = repr(st.waiting)
+                    st.waiting = None
+                    _advance(st, stats, rank=r, throw=PeerDeadError(
+                        r, peer, fstate.death_clock(peer), pending))
+                    progressed = True
+            if progressed:
+                continue  # re-check crashes before matching new actions
+
         for r, st in enumerate(states):
             act = st.waiting
-            if act is None:
+            if act is None or _crash_due(r):
                 continue
 
             if isinstance(act, SendRecv):
@@ -147,8 +267,17 @@ def run_spmd(
                     isinstance(other, SendRecv)
                     and other.partner == r
                     and q > r  # handle each pair once
+                    and not _crash_due(q)
                 ):
-                    t = comm_complete(r, q, max(act.words, other.words))
+                    words = max(act.words, other.words)
+                    extra = 0.0
+                    if fstate is not None:
+                        delay = _resolve(r, q, words, exchange=True)
+                        if delay is None:  # timed out; both sides resumed
+                            progressed = True
+                            continue
+                        extra = delay
+                    t = comm_complete(r, q, words, extra)
                     st.clock = states[q].clock = t
                     stats.messages += 2
                     stats.words += act.words + other.words
@@ -163,8 +292,16 @@ def run_spmd(
             elif isinstance(act, Send):
                 q = act.dst
                 other = states[q].waiting
-                if isinstance(other, Recv) and other.src == r:
-                    t = comm_complete(r, q, act.words)
+                if isinstance(other, Recv) and other.src == r \
+                        and not _crash_due(q):
+                    extra = 0.0
+                    if fstate is not None:
+                        delay = _resolve(r, q, act.words, exchange=False)
+                        if delay is None:
+                            progressed = True
+                            continue
+                        extra = delay
+                    t = comm_complete(r, q, act.words, extra)
                     st.clock = states[q].clock = t
                     stats.messages += 1
                     stats.words += act.words
@@ -178,18 +315,23 @@ def run_spmd(
             # Recv is passive: completed from the Send side.
 
         if not progressed:
+            if fstate is not None and any(
+                    not st.done and st.waiting is not None
+                    and fstate.should_crash(r, st.clock)
+                    for r, st in enumerate(states)):
+                continue  # the crash sweep fires on the next iteration
             break
 
     unfinished = [r for r, st in enumerate(states) if not st.done]
     if unfinished:
-        detail = ", ".join(
-            f"rank {r}: waiting on {states[r].waiting!r}" for r in unfinished
-        )
-        raise DeadlockError(f"simulation deadlocked ({detail})")
+        detail = describe_ranks(
+            (r, st.waiting, st.clock, st.done) for r, st in enumerate(states))
+        raise DeadlockError(f"simulation deadlocked\n{detail}")
 
     stats.clocks = tuple(st.clock for st in states)
     return SimResult(
         values=tuple(st.result for st in states),
         time=stats.makespan,
         stats=stats,
+        faults=fstate.summary() if fstate is not None else None,
     )

@@ -12,6 +12,18 @@ collective algorithms are ordinary generator functions returning values::
 Timing model (paper §4.1): a matched message of ``w`` machine words costs
 ``ts + w*tw``, bidirectional exchanges cost the same as one message, one
 elementary computation costs one unit.
+
+Fault semantics (``repro.faults``): when an engine runs under a
+:class:`~repro.faults.plan.FaultPlan`, the rendezvous primitives gain
+timeout-and-retry behaviour — a dropped message is retried with
+exponential backoff and charged as extra model time; once the retry
+budget is exhausted the pair raises a typed
+:class:`~repro.faults.errors.FaultTimeoutError` naming the dead link
+instead of hanging.  A primitive blocked on a crashed partner raises
+:class:`~repro.faults.errors.PeerDeadError`, which the fault-tolerant
+collectives catch to degrade the affected blocks to ``UNDEF``.  Without a
+plan none of this machinery runs and timing is bit-identical to the
+paper's model.
 """
 
 from __future__ import annotations
@@ -19,7 +31,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Send", "Recv", "SendRecv", "Compute", "Action", "RankContext"]
+__all__ = [
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Compute",
+    "Action",
+    "RankContext",
+    "comm_partner",
+    "pending_info",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +88,33 @@ class Probe:
 
 
 Action = Send | Recv | SendRecv | Compute | Probe
+
+
+def comm_partner(action: Any) -> int | None:
+    """The peer rank a pending communication action is blocked on."""
+    if isinstance(action, Send):
+        return action.dst
+    if isinstance(action, Recv):
+        return action.src
+    if isinstance(action, SendRecv):
+        return action.partner
+    return None
+
+
+def pending_info(rank: int, action: Any) -> tuple[int, int, float | None] | None:
+    """``(src, dst, words)`` of the transfer ``rank`` is blocked on.
+
+    ``words`` is ``None`` for a plain ``Recv`` (the receiver does not know
+    the size until matched).  Non-communication actions return ``None``.
+    Used by the engines' unified per-rank forensic reports.
+    """
+    if isinstance(action, Send):
+        return (rank, action.dst, action.words)
+    if isinstance(action, Recv):
+        return (action.src, rank, None)
+    if isinstance(action, SendRecv):
+        return (rank, action.partner, action.words)
+    return None
 
 
 class RankContext:

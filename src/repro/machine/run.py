@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.core.cost import MachineParams
+from repro.faults import FaultPlan
 from repro.core.stages import (
     AllGatherStage,
     AllReduceStage,
@@ -93,7 +94,7 @@ def execute_stage(ctx: RankContext, stage: Stage, x: Any):
 
     if isinstance(stage, GatherStage):
         value = yield from gather_binomial(ctx, x, width=stage.width)
-        return UNDEF if value is UNDEF else tuple(value)
+        return value if value is UNDEF else tuple(value)
 
     if isinstance(stage, ScanStage):
         value = yield from scan_butterfly(ctx, x, stage.op)
@@ -129,7 +130,9 @@ def execute_stage(ctx: RankContext, stage: Stage, x: Any):
         op = stage.iter_op
         p = ctx.size
         if ctx.rank == 0:
-            if stage.general or (p & (p - 1)):
+            if x is UNDEF:
+                value = UNDEF  # degraded input: nothing to iterate on
+            elif stage.general or (p & (p - 1)):
                 steps = max(p - 1, 0).bit_length()
                 yield from ctx.compute(steps * op.op_count * m)
                 value = op.compute_general(p, x)
@@ -154,12 +157,15 @@ def scan_balanced_butterfly_entry(ctx: RankContext, x: Any, stage: BalancedScanS
 
 
 def simulate_program(
-    program: Program, inputs: Sequence[Any], params: MachineParams
+    program: Program, inputs: Sequence[Any], params: MachineParams,
+    faults: FaultPlan | None = None,
 ) -> SimResult:
     """Simulate ``program`` on ``len(inputs)`` processors.
 
     The number of processors is taken from ``inputs``; ``params.p`` is
     ignored for placement but its ``ts``/``tw``/``m`` drive the timing.
+    ``faults`` (optional) injects a deterministic fault plan; see
+    ``docs/FAULTS.md``.
     """
 
     def rank_fn(ctx: RankContext, x: Any):
@@ -167,7 +173,7 @@ def simulate_program(
             x = yield from execute_stage(ctx, stage, x)
         return x
 
-    return run_spmd(rank_fn, inputs, params)
+    return run_spmd(rank_fn, inputs, params, faults=faults)
 
 
 @dataclass(frozen=True)
@@ -186,7 +192,8 @@ class StageTiming:
 
 
 def stage_breakdown(
-    program: Program, inputs: Sequence[Any], params: MachineParams
+    program: Program, inputs: Sequence[Any], params: MachineParams,
+    faults: FaultPlan | None = None,
 ) -> tuple[SimResult, list[StageTiming]]:
     """Simulate with per-stage probes; returns (result, stage timings)."""
 
@@ -196,7 +203,7 @@ def stage_breakdown(
             yield from ctx.probe(idx)
         return x
 
-    result = run_spmd(rank_fn, inputs, params)
+    result = run_spmd(rank_fn, inputs, params, faults=faults)
     ends: dict[int, float] = {}
     for _rank, tag, clock in result.stats.timeline:
         ends[tag] = max(ends.get(tag, 0.0), clock)

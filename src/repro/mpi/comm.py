@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 
 from repro.core.cost import MachineParams
 from repro.core.operators import BinOp
+from repro.faults import FaultPlan
 from repro.machine.collectives import (
     allgather_ring,
     alltoall_pairwise,
@@ -94,16 +95,12 @@ class Comm:
 
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0):
         """MPI_Scatter: deal the root's list out, one element per rank."""
-        if root != 0:
-            raise NotImplementedError("simulated scatter supports root=0")
-        value = yield from scatter_binomial(self._ctx, sendobj)
+        value = yield from scatter_binomial(self._ctx, sendobj, root=root)
         return value
 
     def gather(self, sendobj: Any, root: int = 0):
         """MPI_Gather: rank-ordered list on the root; ``None`` elsewhere."""
-        if root != 0:
-            raise NotImplementedError("simulated gather supports root=0")
-        value = yield from gather_binomial(self._ctx, sendobj)
+        value = yield from gather_binomial(self._ctx, sendobj, root=root)
         return None if value is UNDEF else value
 
     def allgather(self, sendobj: Any):
@@ -119,11 +116,11 @@ class Comm:
     def reduce(self, sendobj: Any, op: BinOp, root: int = 0):
         """MPI_Reduce: result on the root, ``None`` elsewhere.
 
-        Non-commutative operators require ``root=0`` (rank-order folding).
+        Any root works: commutative operators rotate the binomial
+        schedule (zero extra cost); merely associative ones fold in rank
+        order at rank 0 and relay the result with one extra message.
         """
-        if root != 0:
-            raise NotImplementedError("simulated reduce supports root=0")
-        value = yield from reduce_binomial(self._ctx, sendobj, op)
+        value = yield from reduce_binomial(self._ctx, sendobj, op, root=root)
         return None if value is UNDEF else value
 
     def allreduce(self, sendobj: Any, op: BinOp):
@@ -180,11 +177,13 @@ def spmd_run(
     program: Callable[[Comm, Any], Any],
     inputs: Sequence[Any],
     params: MachineParams | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> SimResult:
     """Run an MPI-style rank program on every processor.
 
     ``program(comm, x)`` must be a generator function (communicate with
-    ``yield from``); ``inputs[i]`` is rank i's initial block.
+    ``yield from``); ``inputs[i]`` is rank i's initial block.  ``faults``
+    (optional) injects a deterministic fault plan; see ``docs/FAULTS.md``.
     """
     if params is None:
         params = MachineParams(p=len(inputs), ts=0.0, tw=0.0, m=1)
@@ -193,4 +192,4 @@ def spmd_run(
         result = yield from program(Comm(ctx), x)
         return result
 
-    return run_spmd(rank_fn, inputs, params)
+    return run_spmd(rank_fn, inputs, params, faults=faults)

@@ -20,7 +20,15 @@ the test suite checks.
 
 Deadlocks (mismatched protocols) are detected — when every live rank is
 blocked and no pending pair matches, all threads raise
-:class:`repro.machine.engine.DeadlockError`.
+:class:`repro.machine.engine.DeadlockError` carrying the shared
+per-rank forensic report (:func:`repro.machine.engine.describe_ranks`).
+
+Fault injection mirrors the cooperative engine exactly: a ``FaultPlan``
+is interpreted by the same :class:`repro.faults.FaultState` at the same
+observable points — crashes at the victim's next communication action,
+drop/retry resolution when a rendezvous pair matches — so clocks, typed
+errors, and degraded results are identical across engines (the chaos
+harness checks this).
 """
 
 from __future__ import annotations
@@ -31,6 +39,13 @@ from typing import Any, Callable, Sequence
 
 from repro.core.cost import MachineParams
 from repro.core.operators import BinOp
+from repro.faults import (
+    FaultPlan,
+    FaultState,
+    FaultTimeoutError,
+    PeerDeadError,
+    RankCrashedError,
+)
 from repro.machine.collectives import (
     allgather_ring,
     alltoall_pairwise,
@@ -41,8 +56,15 @@ from repro.machine.collectives import (
     scan_butterfly,
     scatter_binomial,
 )
-from repro.machine.engine import DeadlockError, SimResult, SimStats
-from repro.machine.primitives import Compute, Probe, Recv, Send, SendRecv
+from repro.machine.engine import DeadlockError, SimResult, SimStats, describe_ranks
+from repro.machine.primitives import (
+    Compute,
+    Probe,
+    Recv,
+    Send,
+    SendRecv,
+    comm_partner,
+)
 from repro.semantics.functional import UNDEF
 
 __all__ = ["ThreadedComm", "threaded_spmd_run", "simulate_program_threaded"]
@@ -56,15 +78,17 @@ class _RankSlot:
     clock: float = 0.0
     waiting: bool = False
     alive: bool = True
-    failed: bool = False
+    fail_exc: BaseException | None = None  # raised by the woken thread
 
 
 class _Rendezvous:
     """Thread-safe matcher implementing the paper's timing model."""
 
-    def __init__(self, size: int, params: MachineParams) -> None:
+    def __init__(self, size: int, params: MachineParams,
+                 fstate: FaultState | None = None) -> None:
         self.size = size
         self.params = params
+        self.fstate = fstate
         self.lock = threading.Lock()
         self.slots = [_RankSlot() for _ in range(size)]
         self.stats = SimStats()
@@ -72,16 +96,51 @@ class _Rendezvous:
 
     # -- matching ----------------------------------------------------------
 
-    def _comm_complete(self, r: int, q: int, words: float) -> float:
+    def _comm_complete(self, r: int, q: int, words: float,
+                       extra: float = 0.0) -> float:
         ts, tw = self.params.link(r, q)
         keys = self.params.contention_domains(r, q)
         start = max(self.slots[r].clock, self.slots[q].clock,
                     *(self._domain_free.get(k, 0.0) for k in keys)) \
             if keys else max(self.slots[r].clock, self.slots[q].clock)
-        t = start + ts + tw * words
+        t = start + ts + tw * words + extra
         for k in keys:
             self._domain_free[k] = t
         return t
+
+    def _describe(self) -> str:
+        return describe_ranks(
+            (i, s.action if s.waiting else None, s.clock, not s.alive)
+            for i, s in enumerate(self.slots)
+        )
+
+    def _fault_resolve(self, src: int, dst: int, words: float,
+                       exchange: bool) -> float | None:
+        """Under the lock: match-time fault resolution (mirrors engine.py).
+
+        Returns the extra delay to charge, or None when the message timed
+        out — in which case both endpoints have been woken with a
+        :class:`FaultTimeoutError` and the match must be abandoned.
+        """
+        ts, tw = self.params.link(src, dst)
+        outcome = self.fstate.resolve(src, dst, ts + tw * words,
+                                      exchange=exchange)
+        if not outcome.timed_out:
+            return outcome.extra_delay
+        t = max(self.slots[src].clock, self.slots[dst].clock) \
+            + outcome.extra_delay
+        self.slots[src].clock = self.slots[dst].clock = t
+        for i in (src, dst):
+            slot = self.slots[i]
+            slot.action = None
+            slot.waiting = False
+        detail = self._describe()
+        for i in (src, dst):
+            slot = self.slots[i]
+            slot.fail_exc = FaultTimeoutError(src, dst, words,
+                                              outcome.drops, t, detail)
+            slot.event.set()
+        return None
 
     def _try_match(self, rank: int) -> bool:
         """Under the lock: match ``rank``'s pending action if possible."""
@@ -93,7 +152,15 @@ class _Rendezvous:
             other = self.slots[q]
             if other.waiting and isinstance(other.action, SendRecv) \
                     and other.action.partner == rank:
-                t = self._comm_complete(rank, q, max(act.words, other.action.words))
+                words = max(act.words, other.action.words)
+                extra = 0.0
+                if self.fstate is not None:
+                    lo, hi = (rank, q) if rank < q else (q, rank)
+                    delay = self._fault_resolve(lo, hi, words, exchange=True)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, words, extra)
                 me.result, other.result = other.action.payload, act.payload
                 me.clock = other.clock = t
                 self.stats.messages += 2
@@ -106,7 +173,14 @@ class _Rendezvous:
             other = self.slots[q]
             if other.waiting and isinstance(other.action, Recv) \
                     and other.action.src == rank:
-                t = self._comm_complete(rank, q, act.words)
+                extra = 0.0
+                if self.fstate is not None:
+                    delay = self._fault_resolve(rank, q, act.words,
+                                                exchange=False)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, act.words, extra)
                 other.result, me.result = act.payload, None
                 me.clock = other.clock = t
                 self.stats.messages += 1
@@ -119,7 +193,14 @@ class _Rendezvous:
             other = self.slots[q]
             if other.waiting and isinstance(other.action, Send) \
                     and other.action.dst == rank:
-                t = self._comm_complete(rank, q, other.action.words)
+                extra = 0.0
+                if self.fstate is not None:
+                    delay = self._fault_resolve(q, rank, other.action.words,
+                                                exchange=False)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, other.action.words, extra)
                 me.result, other.result = other.action.payload, None
                 me.clock = other.clock = t
                 self.stats.messages += 1
@@ -141,9 +222,23 @@ class _Rendezvous:
         return bool(live) and all(s.waiting for s in live)
 
     def _fail_all(self) -> None:
+        detail = self._describe()
         for slot in self.slots:
             if slot.waiting:
-                slot.failed = True
+                slot.fail_exc = DeadlockError(
+                    f"no progress possible (protocol mismatch)\n{detail}"
+                )
+                slot.waiting = False
+                slot.action = None
+                slot.event.set()
+
+    def _wake_waiters_on(self, rank: int) -> None:
+        """Under the lock: fail every slot blocked on the dead ``rank``."""
+        death = self.fstate.death_clock(rank)
+        for i, slot in enumerate(self.slots):
+            if slot.waiting and comm_partner(slot.action) == rank:
+                slot.fail_exc = PeerDeadError(i, rank, death,
+                                              repr(slot.action))
                 slot.waiting = False
                 slot.action = None
                 slot.event.set()
@@ -166,17 +261,30 @@ class _Rendezvous:
             return None
 
         with self.lock:
+            if self.fstate is not None:
+                # Crashes take effect at the next communication action —
+                # the same observable point as the cooperative engine.
+                if self.fstate.should_crash(rank, slot.clock):
+                    self.fstate.record_death(rank, slot.clock)
+                    self._wake_waiters_on(rank)
+                    raise RankCrashedError(rank, slot.clock)
+                peer = comm_partner(action)
+                if peer is not None and self.fstate.is_dead(peer):
+                    raise PeerDeadError(rank, peer,
+                                        self.fstate.death_clock(peer),
+                                        repr(action))
             slot.action = action
             slot.waiting = True
+            slot.fail_exc = None
             slot.event.clear()
             matched = self._try_match(rank)
             if not matched and self._deadlocked():
                 self._fail_all()
         slot.event.wait()
-        if slot.failed:
-            raise DeadlockError(
-                f"rank {rank}: no progress possible (protocol mismatch)"
-            )
+        if slot.fail_exc is not None:
+            exc = slot.fail_exc
+            slot.fail_exc = None
+            raise exc
         return slot.result
 
     def finish(self, rank: int) -> None:
@@ -226,11 +334,23 @@ class _ThreadContext:
         yield Compute(ops)
 
     def drive(self, gen) -> Any:
-        """Run a generator collective, executing each action blockingly."""
+        """Run a generator collective, executing each action blockingly.
+
+        Fault errors raised at a blocked primitive are thrown *into* the
+        generator (mirroring the cooperative engine's ``gen.throw``), so
+        self-stabilizing collectives can catch :class:`PeerDeadError` and
+        degrade; uncaught errors propagate to the rank thread.
+        :class:`RankCrashedError` is never thrown inward — a crashed rank
+        abandons its whole program.
+        """
         try:
             action = next(gen)
             while True:
-                result = self._run(action)
+                try:
+                    result = self._run(action)
+                except (PeerDeadError, FaultTimeoutError) as exc:
+                    action = gen.throw(exc)
+                    continue
                 action = gen.send(result)
         except StopIteration as stop:
             return stop.value
@@ -278,15 +398,11 @@ class ThreadedComm:
 
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         """MPI_Scatter: deal the root's list out, one element per rank."""
-        if root != 0:
-            raise NotImplementedError("threaded scatter supports root=0")
-        return self._ctx.drive(scatter_binomial(self._ctx, sendobj))
+        return self._ctx.drive(scatter_binomial(self._ctx, sendobj, root=root))
 
     def gather(self, sendobj: Any, root: int = 0) -> Any:
         """MPI_Gather: rank-ordered list on the root; ``None`` elsewhere."""
-        if root != 0:
-            raise NotImplementedError("threaded gather supports root=0")
-        out = self._ctx.drive(gather_binomial(self._ctx, sendobj))
+        out = self._ctx.drive(gather_binomial(self._ctx, sendobj, root=root))
         return None if out is UNDEF else out
 
     def allgather(self, sendobj: Any) -> list:
@@ -298,10 +414,12 @@ class ThreadedComm:
         return self._ctx.drive(alltoall_pairwise(self._ctx, sendobjs))
 
     def reduce(self, sendobj: Any, op: BinOp, root: int = 0) -> Any:
-        """MPI_Reduce: combined value on the root, ``None`` elsewhere."""
-        if root != 0:
-            raise NotImplementedError("threaded reduce supports root=0")
-        out = self._ctx.drive(reduce_binomial(self._ctx, sendobj, op))
+        """MPI_Reduce: combined value on the root, ``None`` elsewhere.
+
+        Any root works: commutative operators rotate the binomial
+        schedule; merely associative ones fold at rank 0 and relay.
+        """
+        out = self._ctx.drive(reduce_binomial(self._ctx, sendobj, op, root=root))
         return None if out is UNDEF else out
 
     def allreduce(self, sendobj: Any, op: BinOp) -> Any:
@@ -328,12 +446,15 @@ def threaded_spmd_run(
     program: Callable[[ThreadedComm, Any], Any],
     inputs: Sequence[Any],
     params: MachineParams | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimResult:
     """Run a *blocking* SPMD program, one thread per rank.
 
     ``program(comm, x)`` is an ordinary function.  Returns the same
     :class:`SimResult` as the cooperative engine (values, virtual time,
     statistics).  Exceptions in any rank propagate to the caller.
+    ``faults`` (optional) arms the deterministic fault layer; a crashed
+    rank's final value is ``UNDEF``.
     """
     p = len(inputs)
     if p == 0:
@@ -341,7 +462,9 @@ def threaded_spmd_run(
     if params is None:
         params = MachineParams(p=p, ts=0.0, tw=0.0, m=1)
 
-    rdv = _Rendezvous(p, params)
+    fstate = (FaultState(faults)
+              if faults is not None and not faults.is_empty else None)
+    rdv = _Rendezvous(p, params, fstate)
     results: list[Any] = [None] * p
     errors: list[BaseException | None] = [None] * p
 
@@ -349,6 +472,8 @@ def threaded_spmd_run(
         ctx = _ThreadContext(rank, p, rdv)
         try:
             results[rank] = program(ThreadedComm(ctx), inputs[rank])
+        except RankCrashedError:
+            results[rank] = UNDEF  # planned death, not an error
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors[rank] = exc
         finally:
@@ -372,16 +497,17 @@ def threaded_spmd_run(
 
     rdv.stats.clocks = tuple(slot.clock for slot in rdv.slots)
     return SimResult(values=tuple(results), time=rdv.stats.makespan,
-                     stats=rdv.stats)
+                     stats=rdv.stats,
+                     faults=fstate.summary() if fstate is not None else None)
 
 
-def simulate_program_threaded(program, inputs, params=None) -> SimResult:
+def simulate_program_threaded(program, inputs, params=None, faults=None) -> SimResult:
     """Run a stage :class:`~repro.core.stages.Program` on the threaded engine.
 
     The blocking counterpart of :func:`repro.machine.run.simulate_program`:
     every rank executes the same per-stage collective algorithms, driven
     through the thread rendezvous.  Results and virtual times match the
-    cooperative engine (property-tested).
+    cooperative engine (property-tested), with or without a fault plan.
     """
     from repro.machine.run import execute_stage
 
@@ -394,4 +520,4 @@ def simulate_program_threaded(program, inputs, params=None) -> SimResult:
             x = ctx.drive(execute_stage(ctx, stage, x))
         return x
 
-    return threaded_spmd_run(rank_program, inputs, params)
+    return threaded_spmd_run(rank_program, inputs, params, faults=faults)

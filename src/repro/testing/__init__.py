@@ -20,8 +20,18 @@ counterpart.  It contains
 
 Every failure is reported with the seed that reproduces it; see
 ``docs/TESTING.md`` for the replay workflow.
+
+:mod:`repro.testing.chaos` adds the fault-injection counterpart: the
+same generated programs replayed under sampled fault plans
+(``python -m repro conformance --chaos``); see ``docs/FAULTS.md``.
 """
 
+from repro.testing.chaos import (
+    ChaosFailure,
+    ChaosReport,
+    faulted_run,
+    run_chaos,
+)
 from repro.testing.conformance import (
     PAPER_RULES,
     CaseFailure,
@@ -51,6 +61,10 @@ from repro.testing.soundness import (
 )
 
 __all__ = [
+    "ChaosFailure",
+    "ChaosReport",
+    "faulted_run",
+    "run_chaos",
     "PAPER_RULES",
     "CaseFailure",
     "ConformanceReport",

@@ -1,0 +1,294 @@
+"""Chaos-mode conformance: generated programs under sampled fault plans.
+
+The fault-free conformance gauntlet (:mod:`repro.testing.conformance`)
+checks that every backend computes the same thing; this module checks
+what happens when the machine *misbehaves*.  Each case draws a generated
+program, runs it fault-free once to learn the makespan, then replays it
+under ``plans_per_case`` sampled :class:`~repro.faults.FaultPlan`\\ s on
+both execution engines (cooperative and threaded) and asserts:
+
+1. **typed errors only** — a faulted run either completes or raises a
+   typed, seed-replayable fault error (``FaultTimeoutError`` etc.); any
+   other exception, and any silent hang, is a conformance failure
+   (deadlock detection turns hangs into ``DeadlockError``, which would
+   also be reported here — the self-stabilizing collectives never
+   deadlock under the sampled plans);
+2. **engine agreement** — the cooperative and threaded engines observe
+   the *same* outcome under the same plan: same error type, or the same
+   values (including the same ``UNDEF`` degradation mask) and the same
+   per-rank virtual clocks;
+3. **no defined lies** — every *defined* block of a degraded result
+   equals the fault-free reference: degradation may only widen ``UNDEF``
+   holes, never substitute wrong values;
+4. **optimization soundness under faults** — when the optimizer rewrote
+   the program and both forms survive the same plan, their outputs agree
+   modulo ``UNDEF`` (the paper's rules stay sound under degradation).
+
+Every failure carries the case seed and plan seed; replay with
+``python -m repro conformance --chaos --seed N --iters i+1``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.cost import MachineParams
+from repro.core.optimizer import optimize
+from repro.core.rules import ALL_RULES, Rule
+from repro.faults import FaultError, FaultPlan
+from repro.machine.engine import DeadlockError
+from repro.machine.run import simulate_program
+from repro.mpi.threaded import simulate_program_threaded
+from repro.semantics.functional import UNDEF, defined_equal
+from repro.testing.generator import (
+    RULE_CASES,
+    GeneratedProgram,
+    generate_from_case,
+    generate_random,
+)
+from repro.testing.soundness import sample_machine_params
+
+__all__ = ["ChaosFailure", "ChaosReport", "Outcome", "faulted_run", "run_chaos"]
+
+_CYCLE = len(RULE_CASES) + 1  # mirror the fault-free conformance deck
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one engine observed for one (program, plan) run."""
+
+    kind: str                       # "ok" | exception type name | "untyped"
+    values: tuple[Any, ...] = ()
+    clocks: tuple[float, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+    @property
+    def undef_mask(self) -> tuple[bool, ...]:
+        return tuple(v is UNDEF for v in self.values)
+
+
+def faulted_run(engine: str, program, xs: Sequence[Any],
+                params: MachineParams, plan: FaultPlan) -> Outcome:
+    """Run one engine under a plan, classifying the outcome."""
+    runner: Callable = (simulate_program if engine == "machine"
+                        else simulate_program_threaded)
+    try:
+        res = runner(program, list(xs), params, faults=plan)
+    except FaultError as exc:
+        return Outcome(kind=type(exc).__name__, detail=str(exc))
+    except DeadlockError as exc:
+        return Outcome(kind="DeadlockError", detail=str(exc))
+    except Exception as exc:  # noqa: BLE001 - the property under test
+        return Outcome(kind="untyped",
+                       detail=f"{type(exc).__name__}: {exc}")
+    return Outcome(kind="ok", values=tuple(res.values),
+                   clocks=tuple(res.stats.clocks))
+
+
+@dataclass(frozen=True)
+class ChaosFailure:
+    """One chaos-mode violation, with everything needed to replay it."""
+
+    kind: str        # "typed-errors" | "engine-agreement" | "degradation" | "optimized"
+    iteration: int
+    plan_index: int
+    case_seed: int
+    plan_seed: int
+    base_seed: int
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] iteration {self.iteration}, plan {self.plan_index} "
+            f"(case seed {self.case_seed}, plan seed {self.plan_seed})\n"
+            f"{self.detail}\n"
+            f"replay   : python -m repro conformance --chaos "
+            f"--seed {self.base_seed} --iters {self.iteration + 1}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of one chaos conformance run."""
+
+    seed: int
+    iters: int
+    plans_per_case: int
+    cases: int = 0
+    plan_runs: int = 0
+    completed: int = 0
+    degraded: int = 0        # completed runs with at least one UNDEF hole
+    error_kinds: Counter = field(default_factory=Counter)
+    failures: list[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos conformance: seed={self.seed} iters={self.iters} "
+            f"plans/case={self.plans_per_case}",
+            f"  cases             : {self.cases}",
+            f"  faulted runs      : {self.plan_runs}",
+            f"  completed         : {self.completed} "
+            f"({self.degraded} degraded to UNDEF holes)",
+        ]
+        for kind in sorted(self.error_kinds):
+            lines.append(f"  {kind:<18}: {self.error_kinds[kind]}")
+        if self.failures:
+            lines.append(f"  FAILURES: {len(self.failures)}")
+            for failure in self.failures:
+                lines.append("")
+                lines.append(failure.describe())
+        else:
+            lines.append("  all chaos checks passed")
+        return "\n".join(lines)
+
+
+def _outcome_summary(label: str, outcome: Outcome) -> str:
+    if outcome.ok:
+        return f"{label:<9}: ok values={list(outcome.values)}"
+    return f"{label:<9}: {outcome.kind} ({outcome.detail.splitlines()[0]})"
+
+
+def _check_plan(gp: GeneratedProgram, label: str, xs: Sequence[Any],
+                params: MachineParams, plan: FaultPlan,
+                reference: tuple[Any, ...],
+                report: ChaosReport, record, i: int, k: int,
+                case_seed: int, plan_seed: int) -> Outcome:
+    """Run one program under one plan on both engines; returns the
+    cooperative-engine outcome (for the LHS/RHS cross-check)."""
+    mach = faulted_run("machine", gp.program, xs, params, plan)
+    thr = faulted_run("threaded", gp.program, xs, params, plan)
+    report.plan_runs += 2
+    header = (f"program  : {label}: {gp.program.pretty()}\n"
+              f"inputs   : {list(xs)}  (p={len(xs)})\n"
+              f"plan     : {plan.describe()}")
+
+    for engine, outcome in (("machine", mach), ("threaded", thr)):
+        if outcome.ok:
+            report.completed += 1
+            if any(outcome.undef_mask):
+                report.degraded += 1
+        else:
+            report.error_kinds[outcome.kind] += 1
+        if outcome.kind == "untyped":
+            record(ChaosFailure(
+                kind="typed-errors", iteration=i, plan_index=k,
+                case_seed=case_seed, plan_seed=plan_seed,
+                base_seed=report.seed,
+                detail=f"{header}\n{engine} engine raised a non-fault "
+                       f"error: {outcome.detail}",
+            ))
+
+    agree = (mach.kind == thr.kind)
+    if agree and mach.ok:
+        agree = (mach.undef_mask == thr.undef_mask
+                 and defined_equal(mach.values, thr.values)
+                 and mach.clocks == thr.clocks)
+    if not agree:
+        record(ChaosFailure(
+            kind="engine-agreement", iteration=i, plan_index=k,
+            case_seed=case_seed, plan_seed=plan_seed, base_seed=report.seed,
+            detail=(f"{header}\n"
+                    f"{_outcome_summary('machine', mach)}\n"
+                    f"{_outcome_summary('threaded', thr)}\n"
+                    f"clocks   : machine={list(mach.clocks)} "
+                    f"threaded={list(thr.clocks)}"),
+        ))
+
+    for engine, outcome in (("machine", mach), ("threaded", thr)):
+        if outcome.ok and not defined_equal(outcome.values, reference):
+            record(ChaosFailure(
+                kind="degradation", iteration=i, plan_index=k,
+                case_seed=case_seed, plan_seed=plan_seed,
+                base_seed=report.seed,
+                detail=(f"{header}\n"
+                        f"{engine} returned a defined-but-wrong block:\n"
+                        f"faulted  : {list(outcome.values)}\n"
+                        f"reference: {list(reference)}"),
+            ))
+    return mach
+
+
+def run_chaos(
+    seed: int = 0,
+    iters: int = 25,
+    plans_per_case: int = 3,
+    rules: Iterable[Rule] = ALL_RULES,
+    machine_sizes: Sequence[int] = (2, 3, 4, 5, 8),
+    max_failures: int = 5,
+) -> ChaosReport:
+    """Run ``iters`` chaos cases; stop early after ``max_failures``."""
+    rules = tuple(rules)
+    report = ChaosReport(seed=seed, iters=iters,
+                         plans_per_case=plans_per_case)
+    seen: set[tuple[str, str]] = set()
+
+    def record(failure: ChaosFailure) -> None:
+        key = (failure.kind, failure.detail)
+        if key not in seen:
+            seen.add(key)
+            report.failures.append(failure)
+
+    sizes = [s for s in machine_sizes if s >= 2] or [2]
+    for i in range(iters):
+        case_seed = seed * 1_000_003 + i
+        rng = random.Random(case_seed)
+        slot = i % _CYCLE
+        if slot < len(RULE_CASES):
+            gp = generate_from_case(rng, RULE_CASES[slot])
+        else:
+            gp = generate_random(rng)
+        report.cases += 1
+
+        n = rng.choice(sizes)
+        params = sample_machine_params(rng).with_(p=n)
+        xs = gp.inputs(rng, n)
+
+        # fault-free reference (also calibrates crash clocks / delays)
+        ref = simulate_program(gp.program, list(xs), params)
+
+        opt = optimize(gp.program, params, rules=rules)
+        optimized = None
+        if opt.derivation.steps:
+            optimized = GeneratedProgram(
+                program=opt.program, domain=gp.domain,
+                functions=gp.functions, note=f"optimized:{gp.note}",
+            )
+            opt_ref = simulate_program(optimized.program, list(xs), params)
+
+        for k in range(plans_per_case):
+            plan_seed = case_seed * 7919 + k
+            plan = FaultPlan.sample(plan_seed, n, horizon=ref.time)
+            lhs = _check_plan(gp, "original", xs, params, plan, ref.values,
+                              report, record, i, k, case_seed, plan_seed)
+            if optimized is not None:
+                rhs = _check_plan(optimized, "optimized", xs, params, plan,
+                                  opt_ref.values, report, record, i, k,
+                                  case_seed, plan_seed)
+                if lhs.ok and rhs.ok and not defined_equal(lhs.values,
+                                                           rhs.values):
+                    record(ChaosFailure(
+                        kind="optimized", iteration=i, plan_index=k,
+                        case_seed=case_seed, plan_seed=plan_seed,
+                        base_seed=seed,
+                        detail=(f"plan     : {plan.describe()}\n"
+                                f"original : {list(lhs.values)}\n"
+                                f"optimized: {list(rhs.values)}\n"
+                                f"LHS and RHS survived the same plan but "
+                                f"disagree on defined blocks"),
+                    ))
+
+        if len(report.failures) >= max_failures:
+            break
+
+    return report

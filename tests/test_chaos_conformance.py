@@ -1,0 +1,115 @@
+"""Chaos-mode conformance: generated programs under sampled fault plans.
+
+The chaos harness replays the conformance generator's programs under
+deterministic fault plans and asserts the robustness contract: every run
+either completes (possibly degraded to ``UNDEF`` holes that agree with
+the fault-free reference) or raises a typed, seed-replayable error; and
+the cooperative and threaded engines observe the identical faulted world.
+These tests pin the harness itself — determinism, replay, reporting —
+plus the CLI entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.faults.demo import run_demo
+from repro.testing import ChaosReport, run_chaos
+from repro.testing.chaos import faulted_run
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD
+from repro.core.stages import Program, ScanStage
+from repro.faults import FaultPlan, LinkFault, RankCrash
+from repro.semantics.functional import UNDEF
+
+
+class TestRunChaos:
+    def test_small_sweep_passes(self):
+        report = run_chaos(seed=0, iters=8, plans_per_case=2)
+        assert isinstance(report, ChaosReport)
+        assert report.ok, report.describe()
+        assert report.cases == 8
+        assert report.plan_runs > 0
+        assert report.completed + sum(report.error_kinds.values()) \
+            >= report.plan_runs
+
+    def test_deterministic_replay(self):
+        a = run_chaos(seed=123, iters=6, plans_per_case=2)
+        b = run_chaos(seed=123, iters=6, plans_per_case=2)
+        assert a.describe() == b.describe()
+        assert a.error_kinds == b.error_kinds
+        assert a.degraded == b.degraded
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(seed=1, iters=10, plans_per_case=2)
+        b = run_chaos(seed=2, iters=10, plans_per_case=2)
+        # the fault mix is seed-driven; identical forensic profiles for
+        # different seeds would mean the seed is being ignored
+        assert (a.error_kinds, a.degraded) != (b.error_kinds, b.degraded)
+
+    def test_chaos_exercises_degradation(self):
+        # enough iterations that at least one crash plan fires
+        report = run_chaos(seed=0, iters=15, plans_per_case=3)
+        assert report.ok, report.describe()
+        assert report.degraded > 0
+        assert "chaos" in report.describe()
+
+
+class TestFaultedRun:
+    PARAMS = MachineParams(p=8, ts=10.0, tw=1.0, m=4)
+    SCAN = Program([ScanStage(ADD)])
+
+    def test_clean_outcome(self):
+        out = faulted_run("machine", self.SCAN, [1, 2, 3, 4], self.PARAMS,
+                          FaultPlan())
+        assert out.ok
+        assert out.values == (1, 3, 6, 10)
+        assert out.undef_mask == (False,) * 4
+
+    def test_degraded_outcome_masks_undef(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=2, at_clock=0.0),))
+        out = faulted_run("machine", self.SCAN, [1, 2, 3, 4], self.PARAMS,
+                          plan)
+        assert out.ok
+        assert out.undef_mask[2]
+        assert out.values[2] is UNDEF
+
+    def test_error_outcome_is_typed(self):
+        plan = FaultPlan(link_faults=(LinkFault(0, 1, "drop", count=None),))
+        out = faulted_run("machine", self.SCAN, [1, 2, 3, 4], self.PARAMS,
+                          plan)
+        assert not out.ok
+        assert out.kind == "FaultTimeoutError"
+
+    @pytest.mark.parametrize("engine", ["machine", "threaded"])
+    def test_engines_agree_per_outcome(self, engine):
+        plan = FaultPlan(crashes=(RankCrash(rank=1, at_clock=5.0),),
+                         jitter=0.5, seed=3)
+        base = faulted_run("machine", self.SCAN, [1, 2, 3, 4], self.PARAMS,
+                           plan)
+        out = faulted_run(engine, self.SCAN, [1, 2, 3, 4], self.PARAMS, plan)
+        assert out.kind == base.kind
+        assert out.values == base.values
+        assert out.clocks == base.clocks
+
+
+class TestCli:
+    def test_chaos_smoke_exit_zero(self, capsys):
+        assert main(["conformance", "--chaos", "--seed", "0",
+                     "--iters", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+
+    def test_chaos_respects_plans_flag(self, capsys):
+        assert main(["conformance", "--chaos", "--seed", "0",
+                     "--iters", "3", "--plans", "1"]) == 0
+
+    def test_faults_demo_exit_zero(self, capsys):
+        assert main(["faults", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "FaultTimeoutError" in out
+        assert "UNDEF holes" in out
+
+    def test_demo_is_deterministic(self):
+        assert run_demo() == run_demo()

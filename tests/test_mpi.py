@@ -129,12 +129,54 @@ class TestCollectives:
         # after the barrier every clock is at least the slowest pre-barrier one
         assert min(res.stats.clocks) >= 300
 
-    def test_nonzero_root_reduce_unsupported(self):
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_any_root_reduce_commutative(self, p):
+        for root in range(p):
+            def prog(comm: Comm, x, root=root):
+                v = yield from comm.reduce(x, op=ADD, root=root)
+                return v
+
+            res = spmd_run(prog, list(range(1, p + 1)), PARAMS)
+            total = p * (p + 1) // 2
+            for rank, v in enumerate(res.values):
+                assert v == (total if rank == root else None)
+
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_any_root_reduce_noncommutative(self, p):
+        # CONCAT is merely associative: rank-order folding must survive
+        # the root rotation (implemented as fold-at-0 + relay)
+        letters = [chr(97 + i) for i in range(p)]
+        for root in range(p):
+            def prog(comm: Comm, x, root=root):
+                v = yield from comm.reduce(x, op=CONCAT, root=root)
+                return v
+
+            res = spmd_run(prog, letters, PARAMS)
+            expected = "".join(letters)
+            for rank, v in enumerate(res.values):
+                assert v == (expected if rank == root else None)
+
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_any_root_scatter_gather(self, p):
+        data = [i * 11 for i in range(p)]
+        for root in range(p):
+            def prog(comm: Comm, x, root=root):
+                mine = yield from comm.scatter(x, root=root)
+                back = yield from comm.gather(mine, root=root)
+                return (mine, back)
+
+            inputs = [data if r == root else None for r in range(p)]
+            res = spmd_run(prog, inputs, PARAMS)
+            for rank, (mine, back) in enumerate(res.values):
+                assert mine == data[rank]
+                assert back == (data if rank == root else None)
+
+    def test_invalid_root_rejected(self):
         def prog(comm: Comm, x):
-            v = yield from comm.reduce(x, op=ADD, root=1)
+            v = yield from comm.reduce(x, op=ADD, root=5)
             return v
 
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(ValueError):
             spmd_run(prog, [1, 2], PARAMS)
 
 
