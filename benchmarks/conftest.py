@@ -10,7 +10,9 @@ these files).
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,3 +25,17 @@ def emit(name: str, lines: list[str]) -> str:
     print(f"\n--- {name} ---")
     print(text)
     return text
+
+
+def emit_json(name: str, payload: Any) -> str:
+    """Write machine-readable results to benchmarks/results/BENCH_<name>.json.
+
+    ``payload`` is typically a dict with a ``"series"`` list of per-run
+    records (op, p, block size, backend, median/stdev over repeats) — the
+    schema CI consumes and ``docs/PERFORMANCE.md`` documents.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n--- BENCH_{name}.json ---")
+    return str(path)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import emit
+from conftest import emit, emit_json
 from repro.core.cost import MachineParams
 from repro.core.operators import ADD
 from repro.core.rules.comcast import BSComcast
@@ -65,3 +65,16 @@ def test_fig7_time_vs_processors(benchmark):
     for prog in (LHS, DOUBLING, REPEAT):
         assert list(simulate_program(prog, [7] * p, params).values) == want
     emit("fig7_time_vs_processors", lines)
+    emit_json("fig7", {
+        "figure": "fig7",
+        "op": "bs_comcast(add)",
+        "block": BLOCK,
+        "ts": TS,
+        "tw": TW,
+        "series": [
+            {"p": p, "backend": name, "sim_time": t}
+            for p, t_lhs, t_dbl, t_rep in rows
+            for name, t in (("bcast;scan", t_lhs), ("comcast", t_dbl),
+                            ("bcast;repeat", t_rep))
+        ],
+    })

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import emit
+from conftest import emit, emit_json
 from repro.core.cost import MachineParams
 from repro.core.operators import ADD
 from repro.core.rules.comcast import BSComcast
@@ -59,3 +59,16 @@ def test_fig8_time_vs_block_size(benchmark):
     gaps = [t_lhs - t_dbl for _, t_lhs, t_dbl, _ in rows]
     assert max(gaps) - min(gaps) < 1e-6 * max(gaps)
     emit("fig8_time_vs_block_size", lines)
+    emit_json("fig8", {
+        "figure": "fig8",
+        "op": "bs_comcast(add)",
+        "p": P,
+        "ts": TS,
+        "tw": TW,
+        "series": [
+            {"block": m, "backend": name, "sim_time": t}
+            for m, t_lhs, t_dbl, t_rep in rows
+            for name, t in (("bcast;scan", t_lhs), ("comcast", t_dbl),
+                            ("bcast;repeat", t_rep))
+        ],
+    })

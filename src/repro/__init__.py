@@ -29,6 +29,11 @@ Machine
     :mod:`repro.machine` — a discrete-event SPMD simulator with butterfly
     collectives, used to *measure* what the cost calculus predicts.
 
+Kernels
+    :mod:`repro.kernels` — the vectorized block-kernel execution layer:
+    NumPy lowering of operators and fused local stages, with exact
+    object-mode fallback (see ``docs/PERFORMANCE.md``).
+
 MPI-style front end
     :mod:`repro.mpi` — an mpi4py-flavoured ``Comm`` API over the simulator,
     and :mod:`repro.lang` — a tiny MPI-like surface language that parses
@@ -58,6 +63,7 @@ from repro.core.stages import (
     ReduceStage,
     ScanStage,
 )
+from repro.kernels import run_vectorized, vectorize_program
 from repro.semantics.evaluator import equivalent_on, run_program, run_with_trace
 
 __version__ = "1.0.0"
@@ -95,4 +101,6 @@ __all__ = [
     "equivalent_on",
     "run_program",
     "run_with_trace",
+    "run_vectorized",
+    "vectorize_program",
 ]

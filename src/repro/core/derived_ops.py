@@ -93,6 +93,8 @@ def sr2_op(otimes: BinOp, oplus: BinOp) -> BinOp:
         commutative=False,
         op_count=2 * otimes.op_count + oplus.op_count,
         width=2 * max(otimes.width, oplus.width),
+        kind="sr2",
+        parts=(otimes, oplus),
     )
 
 
@@ -212,6 +214,10 @@ class ComcastOp:
     project: Callable[[Any], Any]
     op_count: int
     state_width: int
+    #: structural metadata ("bs"/"bss2"/"bss" + component BinOps) so the
+    #: kernel registry can rebuild the digit functions over array blocks
+    kind: str = field(default="", compare=False)
+    parts: tuple = field(default=(), compare=False)
 
     def compute(self, k: int, b: Any) -> Any:
         """The full ``op_comp k`` local computation for processor ``k``."""
@@ -241,6 +247,8 @@ def bs_comcast_op(op: BinOp) -> ComcastOp:
         project=pi1,
         op_count=2 * op.op_count,
         state_width=2 * op.width,
+        kind="bs",
+        parts=(op,),
     )
 
 
@@ -268,6 +276,8 @@ def bss2_comcast_op(otimes: BinOp, oplus: BinOp) -> ComcastOp:
         project=pi1,
         op_count=3 * otimes.op_count + 2 * oplus.op_count,
         state_width=3 * max(otimes.width, oplus.width),
+        kind="bss2",
+        parts=(otimes, oplus),
     )
 
 
@@ -299,6 +309,8 @@ def bss_comcast_op(op: BinOp) -> ComcastOp:
         project=pi1,
         op_count=8 * op.op_count,
         state_width=4 * op.width,
+        kind="bss",
+        parts=(op,),
     )
 
 
@@ -323,6 +335,10 @@ class IterOp:
     project: Callable[[Any], Any]
     general: "ComcastOp"
     op_count: int
+    #: structural metadata ("br"/"bsr2"/"bsr" + component BinOps) for the
+    #: kernel registry (see :class:`ComcastOp`)
+    kind: str = field(default="", compare=False)
+    parts: tuple = field(default=(), compare=False)
 
     def compute(self, p: int, b: Any) -> Any:
         """Run the doubling iteration for a power-of-two machine size."""
@@ -360,6 +376,8 @@ def br_iter_op(op: BinOp) -> IterOp:
         project=_identity,
         general=comcast,
         op_count=op.op_count,
+        kind="br",
+        parts=(op,),
     )
 
 
@@ -382,6 +400,8 @@ def bsr2_iter_op(otimes: BinOp, oplus: BinOp) -> IterOp:
         project=pi1,
         general=comcast,
         op_count=2 * otimes.op_count + oplus.op_count,
+        kind="bsr2",
+        parts=(otimes, oplus),
     )
 
 
@@ -405,4 +425,6 @@ def bsr_iter_op(op: BinOp) -> IterOp:
         project=pi1,
         general=comcast,
         op_count=4 * op.op_count,
+        kind="bsr",
+        parts=(op,),
     )

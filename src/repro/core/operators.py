@@ -85,6 +85,13 @@ class BinOp:
         Number of machine words one *element* occupies on the wire.  Base
         scalars are 1 word; pairs/triples/quadruples built by the rules are
         2/3/4 words.  The cost model multiplies message volume by this.
+    kind / parts:
+        Structural metadata for composed operators (``"sr2"``,
+        ``"product"``, ``"seg"``, ...): ``parts`` holds the component
+        operators the composition was built from.  The kernel registry
+        (:mod:`repro.kernels`) uses this to lower composed operators to
+        whole-block array kernels without inspecting ``fn``.  Leaf
+        operators leave both empty.
     """
 
     name: str
@@ -95,6 +102,8 @@ class BinOp:
     has_identity: bool = False
     op_count: int = 1
     width: int = 1
+    kind: str = field(default="", compare=False)
+    parts: tuple = field(default=(), compare=False)
 
     def __call__(self, a: Any, b: Any) -> Any:
         return self.fn(a, b)
@@ -348,4 +357,6 @@ def product_op(left: BinOp, right: BinOp, name: str | None = None) -> BinOp:
         has_identity=has_id,
         op_count=left.op_count + right.op_count,
         width=left.width + right.width,
+        kind="product",
+        parts=(left, right),
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -27,7 +28,8 @@ from repro.core.rewrite import Derivation, Match, apply_match, find_matches
 from repro.core.rules import ALL_RULES, Rule, RuleApplication
 from repro.core.stages import Program
 
-__all__ = ["OptimizationResult", "optimize", "greedy_optimize", "exhaustive_optimize"]
+__all__ = ["OptimizationResult", "optimize", "greedy_optimize",
+           "exhaustive_optimize", "clear_match_cache"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,50 @@ def _signature(program: Program) -> tuple[str, ...]:
     return tuple(stage.pretty() for stage in program.stages)
 
 
+# ---------------------------------------------------------------------------
+# Match-scan cache
+# ---------------------------------------------------------------------------
+#
+# The oracle and the benchmark sweeps optimize the *same* program many times
+# (per machine size, per parameter sample), and every optimize() call walks
+# the whole rewrite graph running every rule's match() against every stage
+# window.  Matching is purely syntactic/algebraic — it depends only on the
+# stage shapes (captured by the program signature, which includes operator
+# names and map labels) and the rule set, never on the machine parameters —
+# so the scan results can be memoized across calls.  The cache is a bounded
+# LRU; rules are keyed by class identity plus declared name, both stable
+# for the module-level rule singletons (ALL_RULES / FULL_RULES).
+
+_MATCH_CACHE: OrderedDict = OrderedDict()
+_MATCH_CACHE_MAX = 4096
+
+
+def clear_match_cache() -> None:
+    """Drop every memoized match scan (tests; rule-registry mutation)."""
+    _MATCH_CACHE.clear()
+
+
+def _rules_key(rules: Sequence[Rule]) -> tuple:
+    return tuple((type(r).__module__, type(r).__qualname__, r.name)
+                 for r in rules)
+
+
+def _cached_matches(program: Program, rules: tuple[Rule, ...]) -> tuple[Match, ...]:
+    """Memoized ``find_matches`` (the p-filter only applies when the
+    generalized Local extension is disabled, which the optimizer never
+    does, so cached matches are machine-independent)."""
+    key = (_signature(program), _rules_key(rules))
+    hit = _MATCH_CACHE.get(key)
+    if hit is not None:
+        _MATCH_CACHE.move_to_end(key)
+        return hit
+    matches = tuple(find_matches(program, rules))
+    _MATCH_CACHE[key] = matches
+    if len(_MATCH_CACHE) > _MATCH_CACHE_MAX:
+        _MATCH_CACHE.popitem(last=False)
+    return matches
+
+
 def _usable(match: Match, allow_lossy: bool) -> bool:
     return match.safe or allow_lossy
 
@@ -87,7 +133,7 @@ def greedy_optimize(
     explored = 1
     while True:
         candidates = []
-        for match in find_matches(current, rules, p=params.p):
+        for match in _cached_matches(current, rules):
             if not _usable(match, allow_lossy):
                 continue
             nxt, step = apply_match(current, match, p=params.p,
@@ -140,7 +186,7 @@ def exhaustive_optimize(
         cost, _, prog, steps = heapq.heappop(frontier)
         if cost < best_cost:
             best_prog, best_cost, best_steps = prog, cost, steps
-        for match in find_matches(prog, rules, p=params.p):
+        for match in _cached_matches(prog, rules):
             if not _usable(match, allow_lossy):
                 continue
             nxt, step = apply_match(prog, match, p=params.p,

@@ -131,6 +131,21 @@ class Derivation:
 # ---------------------------------------------------------------------------
 
 
+def _fused_origin(first: Stage, second: Stage) -> str:
+    """Origin of a fused stage: keep the source-rule names visible.
+
+    When either side was introduced by a rewrite rule (e.g. the ``map π₁``
+    of SR2-Reduction), the fused stage keeps that rule name so derivation
+    reports can still explain where the stage came from; plain user maps
+    fuse under the generic ``"local-fusion"`` tag.
+    """
+    origins = [o for o in (first.origin, second.origin)
+               if o and o != "local-fusion"]
+    if not origins:
+        return "local-fusion"
+    return "+".join(dict.fromkeys(origins))
+
+
 def _fuse_pair(first: Stage, second: Stage) -> Stage | None:
     """Fuse two adjacent local stages into one, or None if not fusible."""
     from repro.core.stages import Map2Stage, MapIndexedStage, MapStage
@@ -140,7 +155,7 @@ def _fuse_pair(first: Stage, second: Stage) -> Stage | None:
         return None  # e.g. IterStage is local but not a fusible map
     label = f"{first.label};{second.label}"
     ops = first.ops_per_element + second.ops_per_element
-    origin = "local-fusion"
+    origin = _fused_origin(first, second)
 
     if isinstance(first, MapStage) and isinstance(second, MapStage):
         f, g = first.fn, second.fn

@@ -45,6 +45,8 @@ def segmented_op(op: BinOp) -> BinOp:
         commutative=False,  # segment heads break commutativity
         op_count=op.op_count + 1,  # one flag update per combine
         width=op.width + 1,        # the flag travels with the value
+        kind="seg",
+        parts=(op,),
     )
 
 

@@ -428,6 +428,14 @@ class Program:
             data = stage.apply(data)
         return data
 
+    def run_vectorized(self, xs: Sequence[Any]) -> list[Any]:
+        """Run with NumPy block kernels, falling back to :meth:`run` for
+        blocks or operators without an array lowering (identical results;
+        see :mod:`repro.kernels`)."""
+        from repro.kernels import run_vectorized
+
+        return run_vectorized(self, xs)
+
     def then(self, other: "Program") -> "Program":
         """Sequential composition — how cross-program fusion points arise."""
         return Program(self.stages + other.stages, name=f"{self.name};{other.name}")

@@ -1,0 +1,176 @@
+"""The vectorized reference evaluator: plan, run, fall back exactly.
+
+:func:`run_vectorized` is the kernel layer's counterpart of
+``Program.run``: same distributed-list semantics, whole-block array
+kernels per stage.  It is the fifth conformance backend
+(``repro.testing.oracle``), so every generated program is differentially
+checked between the two representations.
+
+Execution goes through a :class:`VectorPlan` whose steps group the
+``map pair ; collective(op) ; map π₁`` sandwiches the rewrite rules emit
+into single *fused-collective* steps — after local-stage fusion each
+optimized right-hand side executes as one kernelized unit per block, and
+the step's ``origin`` still names the rule that created it.
+
+Fallback contract (exactness over speed):
+
+* **static** — inputs without an array representation (the list and
+  segmented generator domains) or stages without a kernel raise
+  :class:`KernelUnsupported`; with ``strict=False`` (the default) the
+  program is simply run in object mode instead, bit-for-bit.
+* **dynamic** — a checked integer kernel detecting imminent int64
+  overflow raises :class:`KernelOverflow`; the program is *always*
+  replayed in object mode (Python bigints), even under ``strict=True``,
+  because the caller asked for results, not for a representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.stages import MapStage, Program, Stage
+from repro.kernels.blocks import (
+    KernelFallback,
+    KernelUnsupported,
+    devectorize_block,
+    vectorize_block,
+)
+from repro.kernels.lowering import vectorize_program
+
+__all__ = ["PlanStep", "VectorPlan", "build_plan", "run_vectorized"]
+
+#: labels of the rules' pre-adjustment maps (possibly as last fused part)
+_PRE_ADJUST = ("pair", "triple", "quadruple")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One unit of vectorized execution.
+
+    ``kind`` is ``"local"`` (a fused run of map stages), ``"collective"``
+    (a lone communicating stage), or ``"fused-collective"`` (a rule's
+    ``map pre ; collective ; map π₁`` sandwich executing as one unit).
+    ``origin`` names the rewrite rule that introduced the step, if any.
+    """
+
+    kind: str
+    stages: tuple[Stage, ...]
+    label: str
+    origin: str = ""
+
+    def run(self, xs: Sequence[Any]) -> list[Any]:
+        data = list(xs)
+        for stage in self.stages:
+            data = stage.apply(data)
+        return data
+
+    def pretty(self) -> str:
+        body = " ; ".join(s.pretty() for s in self.stages)
+        tag = f"  [{self.origin}]" if self.origin else ""
+        return f"{self.kind}: {body}{tag}"
+
+
+@dataclass(frozen=True)
+class VectorPlan:
+    """A kernelized program grouped into execution steps."""
+
+    program: Program  # the kernelized (fused + lowered) program
+    steps: tuple[PlanStep, ...]
+
+    def run(self, xs: Sequence[Any]) -> list[Any]:
+        data = list(xs)
+        for step in self.steps:
+            data = step.run(data)
+        return data
+
+    def pretty(self) -> str:
+        return "\n".join(step.pretty() for step in self.steps)
+
+
+def _ends_with_pre_adjust(stage: Stage) -> bool:
+    return isinstance(stage, MapStage) and \
+        stage.label.split(";")[-1] in _PRE_ADJUST
+
+
+def _starts_with_projection(stage: Stage) -> bool:
+    return isinstance(stage, MapStage) and \
+        stage.label.split(";")[0] == "pi_1"
+
+
+def build_plan(program: Program) -> VectorPlan:
+    """Lower ``program`` and group its stages into plan steps.
+
+    Raises :class:`KernelUnsupported` when any stage has no lowering.
+    """
+    lowered = vectorize_program(program)
+    stages = lowered.stages
+    steps: list[PlanStep] = []
+    i = 0
+    while i < len(stages):
+        stage = stages[i]
+        if stage.is_collective:
+            # try to absorb the rule sandwich around a collective
+            pre = steps[-1] if steps else None
+            absorb_pre = (
+                pre is not None and pre.kind == "local"
+                and len(pre.stages) == 1
+                and _ends_with_pre_adjust(pre.stages[0])
+            )
+            post = stages[i + 1] if i + 1 < len(stages) else None
+            absorb_post = post is not None and _starts_with_projection(post)
+            if absorb_pre or absorb_post:
+                group: tuple[Stage, ...] = (stage,)
+                if absorb_pre:
+                    group = pre.stages + group
+                    steps.pop()
+                if absorb_post:
+                    group = group + (post,)
+                    i += 1
+                steps.append(PlanStep(
+                    kind="fused-collective",
+                    stages=group,
+                    label=stage.pretty(),
+                    origin=stage.origin,
+                ))
+            else:
+                steps.append(PlanStep(
+                    kind="collective",
+                    stages=(stage,),
+                    label=stage.pretty(),
+                    origin=stage.origin,
+                ))
+        else:
+            steps.append(PlanStep(
+                kind="local",
+                stages=(stage,),
+                label=stage.pretty(),
+                origin=stage.origin,
+            ))
+        i += 1
+    return VectorPlan(program=lowered, steps=tuple(steps))
+
+
+def run_vectorized(
+    program: Program, xs: Sequence[Any], *, strict: bool = False
+) -> list[Any]:
+    """Run ``program`` on the distributed list ``xs`` with array kernels.
+
+    Returns object-mode values (outputs are devectorized), identical to
+    ``program.run(xs)``.  ``strict=True`` propagates *static*
+    :class:`KernelUnsupported` (no silent object-mode duplicate work —
+    the oracle uses this to report SKIPPED); dynamic overflow always
+    falls back to the exact object-mode replay.
+    """
+    try:
+        plan = build_plan(program)
+        vec = [vectorize_block(x) for x in xs]
+    except KernelUnsupported:
+        if strict:
+            raise
+        return program.run(list(xs))
+    try:
+        out = plan.run(vec)
+    except KernelFallback:
+        return program.run(list(xs))
+    return [devectorize_block(v) for v in out]

@@ -1,0 +1,117 @@
+"""Program lowering: fuse local stages, then kernelize every stage.
+
+:func:`vectorize_program` is the whole-program entry point used by the
+vectorized evaluator (:mod:`repro.kernels.evaluator`), the machine engine
+(``simulate_program(..., vectorize=True)``) and the threaded MPI backend.
+It first runs the local-stage fusion pass (``map f; map g → map (g∘f)``,
+collapsing the ``map pair; collective; map π₁`` sandwiches the rewrite
+rules emit into at most one local stage on each side), then rebuilds each
+stage around its array kernel:
+
+* ``map`` stages get a dispatching function composed from the per-label
+  kernels of their (fused) label;
+* ``scan``/``reduce``/``allreduce`` get a kernelized operator — *required*:
+  a base operator without a kernel (``concat``) makes the whole program
+  unsupported rather than silently slow or wrong;
+* the rule-introduced balanced/comcast/iter stages are rebuilt through
+  their original constructors with kernelized component operators, using
+  the ``kind``/``parts`` structural metadata recorded at build time;
+* data-movement stages (``bcast``, ``scatter``, ...) are representation-
+  agnostic and pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.derived_ops import (
+    SRTreeOp,
+    SSButterflyOp,
+    bs_comcast_op,
+    bss2_comcast_op,
+    bss_comcast_op,
+    br_iter_op,
+    bsr2_iter_op,
+    bsr_iter_op,
+)
+from repro.core.rewrite import fuse_local_stages
+from repro.core.stages import (
+    AllGatherStage,
+    AllReduceStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    GatherStage,
+    IterStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    ScatterStage,
+    Stage,
+)
+from repro.kernels.blocks import KernelUnsupported
+from repro.kernels.registry import kernelize_binop, kernelize_map
+
+__all__ = ["kernelize_stage", "vectorize_program"]
+
+_COMCAST_BUILDERS = {
+    "bs": bs_comcast_op,
+    "bss2": bss2_comcast_op,
+    "bss": bss_comcast_op,
+}
+
+_ITER_BUILDERS = {
+    "br": br_iter_op,
+    "bsr2": bsr2_iter_op,
+    "bsr": bsr_iter_op,
+}
+
+#: stages that only move blocks around — valid for any representation
+_PASSTHROUGH = (BcastStage, AllGatherStage, ScatterStage, GatherStage)
+
+
+def kernelize_stage(stage: Stage) -> Stage:
+    """Rebuild one stage around array kernels (or raise KernelUnsupported)."""
+    if isinstance(stage, MapStage):
+        return replace(stage, fn=kernelize_map(stage.fn, stage.label))
+    if isinstance(stage, (ScanStage, ReduceStage, AllReduceStage)):
+        return replace(stage, op=kernelize_binop(stage.op))
+    if isinstance(stage, _PASSTHROUGH):
+        return stage
+    if isinstance(stage, BalancedReduceStage):
+        return replace(stage, tree_op=SRTreeOp(kernelize_binop(stage.tree_op.op)))
+    if isinstance(stage, BalancedScanStage):
+        return replace(stage, bfly_op=SSButterflyOp(kernelize_binop(stage.bfly_op.op)))
+    if isinstance(stage, ComcastStage):
+        builder = _COMCAST_BUILDERS.get(stage.comcast_op.kind)
+        if builder is None:
+            raise KernelUnsupported(
+                f"comcast operator {stage.comcast_op.name!r} has no "
+                "structural metadata to rebuild from"
+            )
+        parts = tuple(kernelize_binop(p) for p in stage.comcast_op.parts)
+        return replace(stage, comcast_op=builder(*parts))
+    if isinstance(stage, IterStage):
+        builder = _ITER_BUILDERS.get(stage.iter_op.kind)
+        if builder is None:
+            raise KernelUnsupported(
+                f"iter operator {stage.iter_op.name!r} has no "
+                "structural metadata to rebuild from"
+            )
+        parts = tuple(kernelize_binop(p) for p in stage.iter_op.parts)
+        return replace(stage, iter_op=builder(*parts))
+    raise KernelUnsupported(f"no lowering for stage {stage.pretty()!r}")
+
+
+def vectorize_program(program: Program) -> Program:
+    """Fuse local stages, then kernelize every stage of ``program``.
+
+    The result has identical semantics on object-mode blocks (every
+    kernelized function dispatches on the block representation) and runs
+    whole-block array kernels on vectorized blocks.  Raises
+    :class:`KernelUnsupported` if any stage cannot be lowered.
+    """
+    fused = fuse_local_stages(program)
+    return Program([kernelize_stage(s) for s in fused.stages], name=program.name)

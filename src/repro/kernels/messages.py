@@ -1,0 +1,62 @@
+"""Contiguous message packing for tuple-of-array payloads.
+
+The rewrite rules make collectives exchange *tuple states* — the ``(s, r)``
+pairs of ``op_sr2``, the triples/quadruples of the Comcast operators.  In
+object mode those are tuples of scalars and the cost of boxing is already
+paid; in vectorized mode they are tuples of same-shape arrays, and sending
+them as a Python tuple means the transport handles k separate buffers per
+message.  :func:`pack_block` stacks such a tuple into **one** contiguous
+``(k, *shape)`` buffer (one allocation, one copy per component), and
+:func:`unpack_block` returns views into it — the receiver pays no copy at
+all.
+
+The threaded MPI backend applies this transparently at its single
+primitive-action funnel; payloads that are not tuples of same-shape,
+same-dtype arrays (all of object mode) pass through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["PackedBlock", "pack_block", "unpack_block"]
+
+
+@dataclass(frozen=True)
+class PackedBlock:
+    """A k-component tuple state flattened into one contiguous buffer."""
+
+    buffer: np.ndarray  # shape (k, *component_shape), C-contiguous
+
+    @property
+    def components(self) -> int:
+        return self.buffer.shape[0]
+
+
+def pack_block(payload: Any) -> PackedBlock | None:
+    """Pack a tuple of same-shape/dtype arrays, or None if not packable.
+
+    Deliberately strict: only homogeneous all-array tuples pack, so object
+    mode payloads (scalars, lists, tuples of Python numbers, UNDEF) are
+    never touched and the fault-injection/chaos paths see identical
+    payload objects with and without the vectorized layer loaded.
+    """
+    if not (isinstance(payload, tuple) and len(payload) >= 2):
+        return None
+    first = payload[0]
+    if not isinstance(first, np.ndarray):
+        return None
+    for c in payload[1:]:
+        if not isinstance(c, np.ndarray) or c.shape != first.shape \
+                or c.dtype != first.dtype:
+            return None
+    return PackedBlock(np.stack(payload))
+
+
+def unpack_block(packed: PackedBlock) -> tuple:
+    """Recover the component tuple (zero-copy views into the buffer)."""
+    buf = packed.buffer
+    return tuple(buf[i] for i in range(buf.shape[0]))

@@ -1,0 +1,270 @@
+"""Kernel registry: lowering operators and map labels to array kernels.
+
+Two tables drive the vectorized execution layer:
+
+* ``binop kernels`` — map a :class:`~repro.core.operators.BinOp` to a
+  whole-block array implementation.  Resolution is by *name* for the base
+  scalar operators (``add``, ``mul``, ``max``, ...) and then *structurally*
+  via the operator's ``kind``/``parts`` metadata for the composed operators
+  the rewrite rules build (``op_sr2`` pairs, componentwise products,
+  segmented operators), so a kernelized ``op_sr2[mul,add]`` combines its
+  pair states with two fused array ops instead of 2·m Python calls.
+
+* ``map kernels`` — map a ``MapStage`` *label* to a whole-block function.
+  Labels compose under local-stage fusion (``"pair;inc"``), and so do the
+  kernels.
+
+Kernelized operators/maps keep exact object-mode semantics: they
+*dispatch* on the block representation (array blocks take the kernel,
+anything else takes the original Python function), and the integer kernels
+are overflow-checked so a combine that would leave the exact int64 range
+raises :class:`~repro.kernels.blocks.KernelOverflow` instead of silently
+wrapping (callers then replay in object mode, where Python bigints are
+exact).
+
+``register_binop_kernel`` / ``register_map_kernel`` extend the tables for
+user-defined operators (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.operators import BinOp
+from repro.kernels.blocks import (
+    KernelUnsupported,
+    checked_add,
+    checked_mul,
+    checked_neg,
+    is_vector_block,
+)
+from repro.semantics.functional import UNDEF
+
+__all__ = [
+    "register_binop_kernel",
+    "register_map_kernel",
+    "binop_kernel",
+    "map_kernel",
+    "kernelize_binop",
+    "kernelize_map",
+    "has_binop_kernel",
+]
+
+Kernel = Callable[[Any, Any], Any]
+MapKernel = Callable[[Any], Any]
+
+
+def _and_kernel(a: Any, b: Any) -> Any:
+    # Python `a and b` returns b when a is truthy, else a (not a bool!)
+    return np.where(np.asarray(a) != 0, b, a)
+
+
+def _or_kernel(a: Any, b: Any) -> Any:
+    return np.where(np.asarray(a) != 0, a, b)
+
+
+def _xor_kernel(a: Any, b: Any) -> Any:
+    # object mode computes bool(a) ^ bool(b) — a genuine bool result
+    return np.not_equal(np.asarray(a) != 0, np.asarray(b) != 0)
+
+
+#: name -> whole-block kernel for the base scalar operators
+_BINOP_KERNELS: dict[str, Kernel] = {
+    "add": checked_add,
+    "fadd": checked_add,
+    "mul": checked_mul,
+    "fmul": checked_mul,
+    "max": np.maximum,
+    "min": np.minimum,
+    "and": _and_kernel,
+    "or": _or_kernel,
+    "xor": _xor_kernel,
+}
+
+
+def _inc_kernel(x: Any) -> Any:
+    return checked_add(x, np.int64(1))
+
+
+def _dbl_kernel(x: Any) -> Any:
+    return checked_mul(x, np.int64(2))
+
+
+def _pair_kernel(x: Any) -> Any:
+    return (x, x)
+
+
+def _triple_kernel(x: Any) -> Any:
+    return (x, x, x)
+
+
+def _quadruple_kernel(x: Any) -> Any:
+    return (x, x, x, x)
+
+
+def _pi1_kernel(t: Any) -> Any:
+    if t is UNDEF:
+        return UNDEF
+    return t[0]
+
+
+#: MapStage label -> whole-block kernel
+_MAP_KERNELS: dict[str, MapKernel] = {
+    "inc": _inc_kernel,
+    "dbl": _dbl_kernel,
+    "neg": checked_neg,
+    "pair": _pair_kernel,
+    "triple": _triple_kernel,
+    "quadruple": _quadruple_kernel,
+    "pi_1": _pi1_kernel,
+}
+
+
+def register_binop_kernel(name: str, kernel: Kernel) -> None:
+    """Register (or override) the array kernel for the BinOp named ``name``."""
+    _BINOP_KERNELS[name] = kernel
+
+
+def register_map_kernel(label: str, kernel: MapKernel) -> None:
+    """Register (or override) the array kernel for the map label ``label``."""
+    if ";" in label:
+        raise ValueError("register the unfused labels; fusion composes them")
+    _MAP_KERNELS[label] = kernel
+
+
+def _lift_undef(kernel: Kernel) -> Kernel:
+    """Propagate UNDEF components through a kernel (mirrors derived_ops._lift).
+
+    Composite states (butterfly quadruples, general-p digit tuples) carry
+    UNDEF in individual components; object mode never applies the base
+    operator to them and neither may the kernel.
+    """
+
+    def lifted(a: Any, b: Any) -> Any:
+        if a is UNDEF or b is UNDEF:
+            return UNDEF
+        return kernel(a, b)
+
+    return lifted
+
+
+def binop_kernel(op: BinOp) -> Kernel | None:
+    """Resolve the whole-block kernel for ``op``, or None.
+
+    Name lookup first (base operators and user registrations), then the
+    structural ``kind``/``parts`` metadata for composed operators.
+    """
+    k = _BINOP_KERNELS.get(op.name)
+    if k is not None:
+        return k
+
+    if op.kind == "ew":
+        # an elementwise lift acts per element of a list block; on an
+        # array block the base kernel is already elementwise
+        return binop_kernel(op.parts[0])
+
+    if op.kind == "sr2":
+        otimes, oplus = op.parts
+        kt, kp = binop_kernel(otimes), binop_kernel(oplus)
+        if kt is None or kp is None:
+            return None
+        kt, kp = _lift_undef(kt), _lift_undef(kp)
+
+        def sr2(a: Any, b: Any) -> Any:
+            s1, r1 = a
+            s2, r2 = b
+            return (kp(s1, kt(r1, s2)), kt(r1, r2))
+
+        return sr2
+
+    if op.kind == "product":
+        left, right = op.parts
+        kl, kr = binop_kernel(left), binop_kernel(right)
+        if kl is None or kr is None:
+            return None
+        kl, kr = _lift_undef(kl), _lift_undef(kr)
+
+        def product(a: Any, b: Any) -> Any:
+            return (kl(a[0], b[0]), kr(a[1], b[1]))
+
+        return product
+
+    if op.kind == "seg":
+        (inner,) = op.parts
+        ki = binop_kernel(inner)
+        if ki is None:
+            return None
+        ki = _lift_undef(ki)
+
+        def seg(a: Any, b: Any) -> Any:
+            f1, x1 = a
+            f2, x2 = b
+            f2 = np.asarray(f2) != 0
+            # per element: restart at segment heads (flag of the right arg)
+            return (np.asarray(f1) != 0) | f2, np.where(f2, x2, ki(x1, x2))
+
+        return seg
+
+    return None
+
+
+def has_binop_kernel(op: BinOp) -> bool:
+    """Does ``op`` lower to an array kernel?"""
+    return binop_kernel(op) is not None
+
+
+def kernelize_binop(op: BinOp) -> BinOp:
+    """``op`` with its fn replaced by a representation-dispatching version.
+
+    Array blocks (and tuples thereof) take the whole-block kernel; any
+    other block — including object-mode scalars — takes the original
+    Python function, so a kernelized operator is a drop-in replacement
+    everywhere.  Raises :class:`KernelUnsupported` when no kernel exists
+    (e.g. ``concat``: list blocks have no array representation, so a
+    silent elementwise lowering would be *wrong*, not just slow).
+    """
+    kernel = binop_kernel(op)
+    if kernel is None:
+        raise KernelUnsupported(f"no kernel for operator {op.name!r}")
+    fn = op.fn
+
+    def dispatch(a: Any, b: Any) -> Any:
+        if is_vector_block(a) and is_vector_block(b):
+            return kernel(a, b)
+        return fn(a, b)
+
+    return replace(op, fn=dispatch)
+
+
+def map_kernel(label: str) -> MapKernel | None:
+    """Resolve the kernel for a (possibly fused, ``;``-joined) map label."""
+    parts = label.split(";")
+    kernels = [_MAP_KERNELS.get(part) for part in parts]
+    if any(k is None for k in kernels):
+        return None
+    if len(kernels) == 1:
+        return kernels[0]
+
+    def fused(x: Any) -> Any:
+        for k in kernels:
+            x = k(x)
+        return x
+
+    return fused
+
+
+def kernelize_map(fn: Callable[[Any], Any], label: str) -> Callable[[Any], Any]:
+    """A map function dispatching array blocks to the label's kernel."""
+    kernel = map_kernel(label)
+    if kernel is None:
+        raise KernelUnsupported(f"no kernel for map label {label!r}")
+
+    def dispatch(x: Any) -> Any:
+        if is_vector_block(x):
+            return kernel(x)
+        return fn(x)
+
+    return dispatch

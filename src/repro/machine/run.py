@@ -12,6 +12,7 @@ the two pillars the paper's Table 1 stands on.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -158,7 +159,7 @@ def scan_balanced_butterfly_entry(ctx: RankContext, x: Any, stage: BalancedScanS
 
 def simulate_program(
     program: Program, inputs: Sequence[Any], params: MachineParams,
-    faults: FaultPlan | None = None,
+    faults: FaultPlan | None = None, vectorize: bool = False,
 ) -> SimResult:
     """Simulate ``program`` on ``len(inputs)`` processors.
 
@@ -166,7 +167,40 @@ def simulate_program(
     ignored for placement but its ``ts``/``tw``/``m`` drive the timing.
     ``faults`` (optional) injects a deterministic fault plan; see
     ``docs/FAULTS.md``.
+
+    ``vectorize=True`` runs each rank's local stages as whole-block NumPy
+    kernels (:mod:`repro.kernels`): local stages are fused, operators are
+    lowered, and block values travel as arrays.  Simulated time is
+    unchanged (the cost model charges the same abstract operations);
+    results are devectorized, so they compare equal to the object-mode
+    run.  Programs or inputs without a kernel lowering — and runs hitting
+    a checked integer overflow — automatically fall back to the exact
+    object-mode simulation.
     """
+    if vectorize:
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+            vectorize_block,
+            vectorize_program,
+        )
+
+        try:
+            vprog = vectorize_program(program)
+            vinputs = [vectorize_block(x) for x in inputs]
+        except KernelUnsupported:
+            vprog = None
+        if vprog is not None:
+            try:
+                result = simulate_program(vprog, vinputs, params, faults=faults)
+            except KernelFallback:
+                pass  # e.g. int64 overflow: replay exactly in object mode
+            else:
+                return dataclasses.replace(
+                    result,
+                    values=tuple(devectorize_block(v) for v in result.values),
+                )
 
     def rank_fn(ctx: RankContext, x: Any):
         for stage in program.stages:

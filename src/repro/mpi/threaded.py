@@ -33,6 +33,7 @@ harness checks this).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -57,6 +58,7 @@ from repro.machine.collectives import (
     scatter_binomial,
 )
 from repro.machine.engine import DeadlockError, SimResult, SimStats, describe_ranks
+from repro.kernels.messages import PackedBlock, pack_block, unpack_block
 from repro.machine.primitives import (
     Compute,
     Probe,
@@ -310,7 +312,18 @@ class _ThreadContext:
         self._rdv = rdv
 
     def _run(self, action):
-        return self._rdv.execute(self.rank, action)
+        # Vectorized tuple states (op_sr2 pairs, comcast triples, ...) are
+        # flattened into one contiguous buffer per message instead of a
+        # tuple of separately-handled arrays; object-mode payloads are
+        # never tuples of same-shape arrays, so they pass through intact.
+        if isinstance(action, (Send, SendRecv)):
+            packed = pack_block(action.payload)
+            if packed is not None:
+                action = dataclasses.replace(action, payload=packed)
+        result = self._rdv.execute(self.rank, action)
+        if isinstance(result, PackedBlock):
+            return unpack_block(result)
+        return result
 
     # generator-protocol shims (driven by _drive below)
     def send(self, dst: int, payload: Any, words: float):
@@ -501,18 +514,51 @@ def threaded_spmd_run(
                      faults=fstate.summary() if fstate is not None else None)
 
 
-def simulate_program_threaded(program, inputs, params=None, faults=None) -> SimResult:
+def simulate_program_threaded(program, inputs, params=None, faults=None,
+                              vectorize=False) -> SimResult:
     """Run a stage :class:`~repro.core.stages.Program` on the threaded engine.
 
     The blocking counterpart of :func:`repro.machine.run.simulate_program`:
     every rank executes the same per-stage collective algorithms, driven
     through the thread rendezvous.  Results and virtual times match the
     cooperative engine (property-tested), with or without a fault plan.
+
+    ``vectorize=True`` lowers the program and blocks to NumPy kernels
+    (:mod:`repro.kernels`); every rank then sends whole array buffers —
+    tuple states travel as one contiguous packed message — instead of
+    boxed Python values.  Results are devectorized; programs, inputs, or
+    runs the kernels cannot handle exactly fall back to object mode.
     """
     from repro.machine.run import execute_stage
 
     if params is None:
         params = MachineParams(p=len(inputs), ts=0.0, tw=0.0, m=1)
+
+    if vectorize:
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+            vectorize_block,
+            vectorize_program,
+        )
+
+        try:
+            vprog = vectorize_program(program)
+            vinputs = [vectorize_block(x) for x in inputs]
+        except KernelUnsupported:
+            vprog = None
+        if vprog is not None:
+            try:
+                result = simulate_program_threaded(vprog, vinputs, params,
+                                                   faults=faults)
+            except KernelFallback:
+                pass  # e.g. int64 overflow: replay exactly in object mode
+            else:
+                return dataclasses.replace(
+                    result,
+                    values=tuple(devectorize_block(v) for v in result.values),
+                )
 
     def rank_program(comm: ThreadedComm, x: Any) -> Any:
         ctx = comm._ctx

@@ -9,12 +9,19 @@ One generated program is executed on every available substrate:
 * ``threaded``   — the blocking thread-per-rank MPI facade
   (:func:`repro.mpi.threaded.simulate_program_threaded`);
 * ``codegen``    — the emitted mpi4py script executed against the fake
-  MPI module (:func:`repro.codegen.simulated_backend.run_generated`).
+  MPI module (:func:`repro.codegen.simulated_backend.run_generated`);
+* ``vectorized`` — the NumPy block-kernel evaluator
+  (:func:`repro.kernels.run_vectorized`), which lowers blocks to arrays
+  and operators to whole-block kernels.
 
 All outputs must agree modulo undefined blocks (:func:`defined_equal`).
 The codegen backend normalizes mpi4py's ``None``-off-root convention to
 :data:`UNDEF` and is *skipped* (not failed) for programs it cannot
 express — balanced collectives, iter stages, unregistered operators.
+The vectorized backend is likewise skipped for domains without an array
+representation (list concatenation, segmented pairs); integer overflow
+is *not* a skip — the kernels detect it and replay in exact object mode,
+and the oracle checks the result like any other.
 
 On disagreement, :func:`shrink_counterexample` greedily minimizes the
 failing case: drop stages, halve the machine, simplify block values —
@@ -30,6 +37,7 @@ from repro.codegen import CodegenError, generate_mpi4py
 from repro.codegen.simulated_backend import run_generated
 from repro.core.cost import MachineParams
 from repro.core.stages import Program
+from repro.kernels import KernelUnsupported, run_vectorized
 from repro.machine.run import simulate_program
 from repro.mpi.threaded import simulate_program_threaded
 from repro.semantics.functional import UNDEF, defined_equal
@@ -44,7 +52,9 @@ __all__ = [
     "shrink_counterexample",
 ]
 
-BACKENDS: tuple[str, ...] = ("functional", "machine", "threaded", "codegen")
+BACKENDS: tuple[str, ...] = (
+    "functional", "machine", "threaded", "codegen", "vectorized"
+)
 
 #: sentinel for "this backend cannot express the program" (not a failure)
 SKIPPED = object()
@@ -72,6 +82,11 @@ def run_backend(name: str, gp: GeneratedProgram, xs: Sequence[Any],
             return SKIPPED
         result = run_generated(src, list(xs), params, functions=dict(gp.functions))
         return _normalize_codegen(result.values)
+    if name == "vectorized":
+        try:
+            return run_vectorized(program, list(xs), strict=True)
+        except KernelUnsupported:
+            return SKIPPED
     raise ValueError(f"unknown backend {name!r}")
 
 
