@@ -31,6 +31,12 @@ Subcommands
 ``faults demo``
     Deterministic walkthrough of the fault-injection layer: retry
     recovery, dead-link timeouts, crash degradation, engine agreement.
+``recover``
+    Deterministic walkthrough of the checkpoint/restart recovery
+    runtime: fault-free supervision, link quarantine with relay
+    rerouting, shrink-recovery after a crash, typed exhaustion.
+    ``--log PATH`` writes the quarantine scenario's structured JSON
+    event log (the artifact CI uploads).
 
 Machine parameters are given as ``--p/--ts/--tw/--m``; operator names in
 program files resolve against a built-in environment (``add mul max min
@@ -165,11 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "(see docs/FAULTS.md)")
     p_cf.add_argument("--plans", type=int, default=3,
                       help="fault plans per case in --chaos mode (default 3)")
+    p_cf.add_argument("--recover", action="store_true",
+                      help="with --chaos: run every faulted case under the "
+                           "checkpoint/restart supervisor and check the "
+                           "recovery contract (see docs/FAULTS.md)")
 
     p_fl = subs.add_parser("faults",
                            help="fault-injection layer utilities")
     p_fl.add_argument("action", choices=("demo",),
                       help="'demo': deterministic fault-layer walkthrough")
+
+    p_rc = subs.add_parser("recover",
+                           help="checkpoint/restart recovery walkthrough")
+    p_rc.add_argument("--log", default=None, metavar="PATH",
+                      help="also write the quarantine scenario's JSON "
+                           "recovery event log to PATH")
 
     return parser
 
@@ -317,10 +333,20 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.testing import run_chaos, run_conformance
 
     rules = FULL_RULES if args.extensions else ALL_RULES
+    if args.recover and not args.chaos:
+        print("error: --recover requires --chaos", file=sys.stderr)
+        return 2
     if args.chaos:
-        chaos = run_chaos(seed=args.seed, iters=args.iters, rules=rules,
-                          plans_per_case=args.plans,
-                          max_failures=args.max_failures)
+        if args.recover:
+            from repro.testing import run_chaos_recovery
+
+            chaos = run_chaos_recovery(seed=args.seed, iters=args.iters,
+                                       plans_per_case=args.plans,
+                                       max_failures=args.max_failures)
+        else:
+            chaos = run_chaos(seed=args.seed, iters=args.iters, rules=rules,
+                              plans_per_case=args.plans,
+                              max_failures=args.max_failures)
         print(chaos.describe())
         return 0 if chaos.ok else 1
     report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
@@ -336,6 +362,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.demo import run_demo
 
     print(run_demo())
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.recovery.demo import demo_event_log, run_demo
+
+    print(run_demo())
+    if args.log is not None:
+        demo_event_log().write(args.log)
+        print(f"wrote recovery event log to {args.log}")
     return 0
 
 
@@ -380,6 +416,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_conformance(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     return 2  # pragma: no cover
 
 

@@ -51,6 +51,8 @@ from repro.core.stages import (
 __all__ = [
     "MachineParams",
     "stage_cost",
+    "stage_rounds",
+    "program_rounds",
     "program_cost",
     "CostFormula",
     "bcast_formula",
@@ -72,12 +74,21 @@ class MachineParams:
     ``p`` — number of processors; ``ts`` — message start-up time;
     ``tw`` — per-word transfer time; ``m`` — block length (elements per
     processor).  Times are in units of one elementary computation.
+
+    ``round_penalty`` is the *resilience* term: an extra charge per
+    communication round (see :func:`stage_rounds`).  The paper's cost
+    model has no such term (default ``0.0`` keeps every cost
+    bit-identical); the recovery runtime (:mod:`repro.recovery`) sets it
+    after a link quarantine so the optimizer prefers the rule-fused forms
+    — fewer rounds means fewer exposures to a faulty network, turning the
+    paper's round-count argument into a live robustness mechanism.
     """
 
     p: int
     ts: float
     tw: float
     m: int = 1
+    round_penalty: float = 0.0
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -86,6 +97,8 @@ class MachineParams:
             raise ValueError("block size cannot be negative")
         if self.ts < 0 or self.tw < 0:
             raise ValueError("ts/tw cannot be negative")
+        if self.round_penalty < 0:
+            raise ValueError("round penalty cannot be negative")
 
     @property
     def log_p(self) -> float:
@@ -129,13 +142,64 @@ HIGH_LATENCY = MachineParams(p=64, ts=50000.0, tw=10.0, m=1024)
 # ---------------------------------------------------------------------------
 
 
+def stage_rounds(stage: Stage, params: MachineParams) -> int:
+    """Number of communication rounds (synchronous phases) of one stage.
+
+    This is the stage's *fault surface*: every round is one opportunity
+    for a link fault or a crash to hit the schedule.  Local stages have
+    zero rounds; the butterfly/binomial collectives have ``ceil(log2 p)``;
+    the ring allgather and the scatter/gather trees pay their full phase
+    counts.  The resilience-aware replanner charges
+    ``params.round_penalty`` per round, which is exactly what makes the
+    rule-fused forms (fewer collectives, hence fewer rounds) win after a
+    quarantine.
+    """
+    p = params.p
+    if p <= 1:
+        return 0
+    log_rounds = (p - 1).bit_length()  # ceil(log2 p)
+
+    if isinstance(stage, (MapStage, MapIndexedStage, Map2Stage)):
+        return 0
+    if isinstance(stage, AllGatherStage):
+        if p & (p - 1) == 0:
+            return log_rounds
+        return 2 * (p - 1) if p % 2 == 0 else 2 * p
+    if isinstance(stage, (ScatterStage, GatherStage)):
+        return log_rounds
+    if isinstance(stage, IterStage):
+        return log_rounds if stage.then_bcast else 0
+    if isinstance(stage, (BcastStage, ScanStage, ReduceStage, AllReduceStage,
+                          BalancedReduceStage, BalancedScanStage,
+                          ComcastStage)):
+        return log_rounds
+    raise TypeError(f"no round count for stage {stage!r}")
+
+
+def program_rounds(program: Program | Iterable[Stage],
+                   params: MachineParams) -> int:
+    """Total communication rounds of a program (its fault surface)."""
+    stages = program.stages if isinstance(program, Program) else tuple(program)
+    return sum(stage_rounds(s, params) for s in stages)
+
+
 def stage_cost(stage: Stage, params: MachineParams) -> float:
     """Time of one stage under the butterfly cost model.
 
     Local ``map`` stages cost ``m * ops_per_element`` (no ``log p`` factor);
     every collective costs ``log p * (ts + m * (words*tw + ops))`` with the
-    stage-specific per-element word volume and operation count.
+    stage-specific per-element word volume and operation count.  A nonzero
+    ``params.round_penalty`` additionally charges every communication
+    round (:func:`stage_rounds`) — the resilience term the recovery
+    runtime uses; it is exactly zero-cost at the default ``0.0``.
     """
+    if params.round_penalty:
+        return (_base_stage_cost(stage, params)
+                + params.round_penalty * stage_rounds(stage, params))
+    return _base_stage_cost(stage, params)
+
+
+def _base_stage_cost(stage: Stage, params: MachineParams) -> float:
     log_p, ts, tw, m = params.log_p, params.ts, params.tw, params.m
 
     if isinstance(stage, (MapStage, MapIndexedStage, Map2Stage)):

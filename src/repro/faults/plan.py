@@ -26,10 +26,14 @@ Determinism rules:
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 
 __all__ = ["LinkFault", "RankCrash", "FaultPlan"]
+
+#: schema version of the JSON wire format (bumped on incompatible change)
+_JSON_VERSION = 1
 
 #: fault kinds a LinkFault may take
 _KINDS = ("drop", "delay", "dup")
@@ -226,3 +230,66 @@ class FaultPlan:
         if self.jitter:
             parts.append(f"jitter < {self.jitter:g}")
         return f"fault plan (seed={self.seed}): " + "; ".join(parts)
+
+    # -- serialization -------------------------------------------------------
+    #
+    # Seeds replay a *sampled* plan only as long as FaultPlan.sample never
+    # changes; the JSON form archives the plan itself, so chaos/recovery
+    # counterexamples survive across versions (golden-file tested).
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a stable, versioned JSON document."""
+        doc = {
+            "version": _JSON_VERSION,
+            "seed": self.seed,
+            "jitter": self.jitter,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "retry_timeout": self.retry_timeout,
+            "link_faults": [
+                {"src": f.src, "dst": f.dst, "kind": f.kind,
+                 "first": f.first, "count": f.count, "delay": f.delay}
+                for f in self.link_faults
+            ],
+            "crashes": [
+                {"rank": c.rank, "at_clock": c.at_clock}
+                for c in self.crashes
+            ],
+        }
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse :meth:`to_json` output back into an identical plan.
+
+        Validates through the dataclass constructors, so a corrupted
+        document raises ``ValueError``/``KeyError`` rather than producing
+        a silently different fault schedule.
+        """
+        doc = json.loads(text)
+        version = doc.get("version")
+        if version != _JSON_VERSION:
+            raise ValueError(
+                f"unsupported FaultPlan JSON version {version!r} "
+                f"(expected {_JSON_VERSION})")
+        faults = tuple(
+            LinkFault(src=int(f["src"]), dst=int(f["dst"]),
+                      kind=str(f["kind"]), first=int(f["first"]),
+                      count=None if f["count"] is None else int(f["count"]),
+                      delay=float(f["delay"]))
+            for f in doc["link_faults"]
+        )
+        crashes = tuple(
+            RankCrash(rank=int(c["rank"]), at_clock=float(c["at_clock"]))
+            for c in doc["crashes"]
+        )
+        retry_timeout = doc.get("retry_timeout")
+        return cls(
+            link_faults=faults,
+            crashes=crashes,
+            jitter=float(doc.get("jitter", 0.0)),
+            seed=int(doc.get("seed", 0)),
+            max_retries=int(doc.get("max_retries", 3)),
+            backoff=float(doc.get("backoff", 2.0)),
+            retry_timeout=None if retry_timeout is None else float(retry_timeout),
+        )

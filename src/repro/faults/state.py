@@ -36,7 +36,13 @@ class Delivery:
 
 @dataclass(frozen=True)
 class FaultSummary:
-    """Immutable forensic record of everything that fired during a run."""
+    """Immutable forensic record of everything that fired during a run.
+
+    ``epoch`` identifies the supervision attempt the record belongs to:
+    unsupervised runs only ever produce epoch 0; the recovery runtime
+    (:mod:`repro.recovery`) starts a fresh epoch per replay so original-run
+    faults and replay faults are never double-counted.
+    """
 
     deaths: tuple[tuple[int, float], ...] = ()
     drops: tuple[tuple[tuple[int, int], int], ...] = ()
@@ -44,14 +50,18 @@ class FaultSummary:
     retries: int = 0
     duplicates: int = 0
     extra_delay: float = 0.0
+    #: messages delivered over a relay path around a quarantined link
+    rerouted: int = 0
+    epoch: int = 0
 
     @property
     def any_fired(self) -> bool:
         return bool(self.deaths or self.drops or self.timeouts
-                    or self.duplicates or self.extra_delay)
+                    or self.duplicates or self.extra_delay or self.rerouted)
 
     def describe(self) -> str:
-        lines = ["fault summary:"]
+        lines = ["fault summary:" if self.epoch == 0
+                 else f"fault summary (epoch {self.epoch}):"]
         for rank, clock in self.deaths:
             lines.append(f"  rank {rank} died at t={clock:g}")
         for (src, dst), n in self.drops:
@@ -62,6 +72,8 @@ class FaultSummary:
             lines.append(f"  retries: {self.retries}")
         if self.duplicates:
             lines.append(f"  duplicates delivered: {self.duplicates}")
+        if self.rerouted:
+            lines.append(f"  rerouted around quarantine: {self.rerouted}")
         if self.extra_delay:
             lines.append(f"  extra model time charged: {self.extra_delay:g}")
         if len(lines) == 1:
@@ -83,6 +95,72 @@ class FaultState:
         self.retries = 0
         self.duplicates = 0
         self.extra_delay = 0.0
+        self.rerouted = 0
+        #: replay epoch (0 = original run); bumped by reset_for_replay()
+        self.epoch = 0
+        self._epoch_history: list[FaultSummary] = []
+        self._death_mark = 0  # deaths recorded before the current epoch
+
+    # -- replay epochs -------------------------------------------------------
+
+    def reset_for_replay(self) -> None:
+        """Start a new forensic epoch (one supervision replay attempt).
+
+        Archives the current epoch's tallies and zeroes them so faults
+        observed during a replay are attributed to the replay, not
+        double-counted onto the original run.  Permanent state — per-link
+        message cursors and the set of crashed ranks — is *not* touched:
+        the plan keeps addressing absolute message indices and a dead
+        rank stays dead across replays.
+        """
+        self._epoch_history.append(self.summary())
+        self._death_mark = len(self.dead)
+        self.drops = Counter()
+        self.timeouts = []
+        self.retries = 0
+        self.duplicates = 0
+        self.extra_delay = 0.0
+        self.rerouted = 0
+        self.epoch += 1
+
+    def epoch_summaries(self) -> tuple[FaultSummary, ...]:
+        """Every epoch's forensic record, oldest first (current included)."""
+        return tuple(self._epoch_history) + (self.summary(),)
+
+    def total_summary(self) -> FaultSummary:
+        """Aggregate forensics across all epochs (epoch = count of replays)."""
+        epochs = self.epoch_summaries()
+        merged_drops: Counter = Counter()
+        timeouts: list[tuple[int, int]] = []
+        for s in epochs:
+            merged_drops.update(dict(s.drops))
+            timeouts.extend(s.timeouts)
+        return FaultSummary(
+            deaths=tuple(sorted(self.dead.items())),
+            drops=tuple(sorted(merged_drops.items())),
+            timeouts=tuple(timeouts),
+            retries=sum(s.retries for s in epochs),
+            duplicates=sum(s.duplicates for s in epochs),
+            extra_delay=sum(s.extra_delay for s in epochs),
+            rerouted=sum(s.rerouted for s in epochs),
+            epoch=self.epoch,
+        )
+
+    # -- checkpoint cursor ---------------------------------------------------
+
+    def cursor(self) -> tuple[tuple[tuple[int, int], int], ...]:
+        """Frozen per-link message-index cursor (for checkpointing)."""
+        return tuple(sorted(self._msg_idx.items()))
+
+    def restore_cursor(self, cursor) -> None:
+        """Roll the per-link message indices back to a checkpointed cursor.
+
+        Restoring the cursor makes a replayed stage consume exactly the
+        same plan verdicts as the original attempt did — replay becomes a
+        pure function of the checkpoint, independent of how far a failed
+        attempt got on either engine.
+        """
+        self._msg_idx = dict(cursor)
 
     # -- crashes -------------------------------------------------------------
 
@@ -146,11 +224,16 @@ class FaultState:
     # -- forensics -----------------------------------------------------------
 
     def summary(self) -> FaultSummary:
+        """Forensic record of the *current* epoch (the whole run when no
+        replay ever happened, i.e. for every unsupervised run)."""
+        deaths = tuple(sorted(list(self.dead.items())[self._death_mark:]))
         return FaultSummary(
-            deaths=tuple(sorted(self.dead.items())),
+            deaths=deaths,
             drops=tuple(sorted(self.drops.items())),
             timeouts=tuple(self.timeouts),
             retries=self.retries,
             duplicates=self.duplicates,
             extra_delay=self.extra_delay,
+            rerouted=self.rerouted,
+            epoch=self.epoch,
         )

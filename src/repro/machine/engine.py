@@ -158,6 +158,8 @@ def run_spmd(
     inputs: Sequence[Any],
     params: MachineParams,
     faults: FaultPlan | None = None,
+    fault_state: FaultState | None = None,
+    initial_clocks: Sequence[float] | None = None,
 ) -> SimResult:
     """Run one SPMD program on every rank and simulate its execution.
 
@@ -167,15 +169,27 @@ def run_spmd(
 
     ``faults`` arms the deterministic fault-injection layer; see the
     module docstring.  A crashed rank's final value is ``UNDEF``.
+
+    ``fault_state`` supplies an already-live :class:`FaultState` instead
+    of building one from ``faults`` — the recovery runtime uses this to
+    carry message cursors and crash records across stage-by-stage
+    executions.  ``initial_clocks`` starts each rank's virtual clock at a
+    checkpointed value rather than 0 (the two hooks together make a
+    resumed stage observationally identical to the same stage inside one
+    uninterrupted run).
     """
     p = len(inputs)
     if p == 0:
         raise ValueError("cannot simulate an empty machine")
-    fstate = (FaultState(faults)
-              if faults is not None and not faults.is_empty else None)
+    if fault_state is not None:
+        fstate: FaultState | None = fault_state
+    else:
+        fstate = (FaultState(faults)
+                  if faults is not None and not faults.is_empty else None)
     stats = SimStats()
     states = [
-        _RankState(gen=rank_fn(RankContext(r, p, params), inputs[r]))
+        _RankState(gen=rank_fn(RankContext(r, p, params), inputs[r]),
+                   clock=0.0 if initial_clocks is None else initial_clocks[r])
         for r in range(p)
     ]
     for r, st in enumerate(states):

@@ -460,6 +460,8 @@ def threaded_spmd_run(
     inputs: Sequence[Any],
     params: MachineParams | None = None,
     faults: FaultPlan | None = None,
+    fault_state: FaultState | None = None,
+    initial_clocks: Sequence[float] | None = None,
 ) -> SimResult:
     """Run a *blocking* SPMD program, one thread per rank.
 
@@ -468,6 +470,12 @@ def threaded_spmd_run(
     statistics).  Exceptions in any rank propagate to the caller.
     ``faults`` (optional) arms the deterministic fault layer; a crashed
     rank's final value is ``UNDEF``.
+
+    ``fault_state``/``initial_clocks`` mirror
+    :func:`repro.machine.engine.run_spmd`: they let the recovery runtime
+    resume a checkpointed run — a shared live fault state and per-rank
+    starting clocks — with the same observable behavior as the
+    cooperative engine.
     """
     p = len(inputs)
     if p == 0:
@@ -475,9 +483,15 @@ def threaded_spmd_run(
     if params is None:
         params = MachineParams(p=p, ts=0.0, tw=0.0, m=1)
 
-    fstate = (FaultState(faults)
-              if faults is not None and not faults.is_empty else None)
+    if fault_state is not None:
+        fstate: FaultState | None = fault_state
+    else:
+        fstate = (FaultState(faults)
+                  if faults is not None and not faults.is_empty else None)
     rdv = _Rendezvous(p, params, fstate)
+    if initial_clocks is not None:
+        for slot, clock in zip(rdv.slots, initial_clocks):
+            slot.clock = clock
     results: list[Any] = [None] * p
     errors: list[BaseException | None] = [None] * p
 

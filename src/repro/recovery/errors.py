@@ -1,0 +1,46 @@
+"""Typed failure of the recovery runtime itself.
+
+The supervision contract (``docs/FAULTS.md``, Recovery section) is that a
+supervised run never hangs and never returns defined-but-wrong blocks: it
+either completes with blocks equal to the fault-free run, or raises
+:class:`UnrecoverableError` naming the recovery policy that was
+exhausted.  Raw fault errors (``FaultTimeoutError``, ``PeerDeadError``)
+never escape a supervised run — the supervisor consumes them and either
+recovers or converts them into this one terminal type.
+"""
+
+from __future__ import annotations
+
+from repro.faults.errors import FaultError
+
+__all__ = ["UnrecoverableError"]
+
+
+class UnrecoverableError(FaultError):
+    """The supervisor ran out of recovery options for a fault.
+
+    ``policy`` names the exhausted mechanism:
+
+    * ``"link-quarantine"`` — a quarantined link failed again and no
+      healthy relay path around it exists (e.g. every outbound link of a
+      rank is quarantined);
+    * ``"shrink"`` — a rank crashed but no surviving rank can adopt its
+      blocks (all ranks dead, or ``p == 1``);
+    * ``"shrink-disabled"`` — a crash occurred with
+      ``RecoveryPolicy.allow_shrink=False``;
+    * ``"shrink-budget"`` — more crashes than ``max_shrinks`` allows;
+    * ``"retry-budget"`` — a stage kept failing past
+      ``max_stage_attempts`` replays;
+    * ``"deadlock"`` — the engine reported a protocol deadlock, which no
+      replay can fix.
+
+    The original fault error (if any) is chained as ``__cause__``.
+    """
+
+    def __init__(self, policy: str, stage: int, detail: str = "") -> None:
+        self.policy = policy
+        self.stage = stage
+        msg = f"recovery exhausted [{policy}] at stage {stage}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)

@@ -1,0 +1,70 @@
+"""Structured recovery event log.
+
+Every supervision decision — checkpoint taken, fault observed, state
+restored, link quarantined, schedule re-planned, topology shrunk,
+recovery exhausted — is appended to a :class:`RecoveryLog` as one flat
+JSON-serializable dict.  The log is deterministic for a given
+``(program, inputs, params, plan, policy, engine)`` tuple, which makes
+it diffable across runs and engines, and it is what the CI chaos job
+uploads as an artifact (schema documented in ``docs/FAULTS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["RecoveryLog"]
+
+#: event kinds a supervisor may emit, in the order they typically appear
+EVENT_KINDS = (
+    "start", "checkpoint", "fault", "restore", "quarantine",
+    "replan", "shrink", "complete", "unrecoverable",
+)
+
+
+class RecoveryLog:
+    """Append-only list of supervision events.
+
+    Each event is a dict with at least ``{"event": kind, "stage": int}``;
+    extra fields depend on the kind.  ``clock`` fields are simulated
+    time, never wall time, so logs are reproducible bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown recovery event kind {event!r}")
+        record = {"event": event, **fields}
+        self.events.append(record)
+        return record
+
+    def kinds(self) -> tuple[str, ...]:
+        """The event-kind sequence (handy for assertions and tests)."""
+        return tuple(e["event"] for e in self.events)
+
+    def of_kind(self, event: str) -> list[dict[str, Any]]:
+        return [e for e in self.events if e["event"] == event]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"version": 1, "events": self.events},
+                          indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        """Write the JSON document to ``path`` (str or Path)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def describe(self) -> str:
+        """Human-oriented one-line-per-event rendering for demos/CLI."""
+        lines = []
+        for e in self.events:
+            extra = ", ".join(f"{k}={v}" for k, v in e.items()
+                              if k not in ("event", "stage"))
+            stage = e.get("stage")
+            head = f"[stage {stage}] " if stage is not None else ""
+            lines.append(f"  {head}{e['event']}" + (f": {extra}" if extra else ""))
+        return "\n".join(lines) if lines else "  (no events)"

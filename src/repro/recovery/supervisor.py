@@ -1,0 +1,331 @@
+"""Checkpoint/restart supervision of stage programs.
+
+:func:`supervise` executes a :class:`~repro.core.stages.Program`
+stage-by-stage on either execution engine, taking a content-hashed
+checkpoint at every stage boundary.  Typed fault errors from the fault
+layer never escape: a failed stage attempt is rolled back to the last
+checkpoint and replayed after a capped exponential backoff; persistently
+failing links are quarantined (traffic reroutes through a healthy
+relay); a crashed rank triggers shrink-recovery — its virtual ranks are
+re-hosted onto a survivor and the stage replays from checkpoint state.
+After a quarantine the remaining stages are re-optimized with a
+resilience term (``MachineParams.round_penalty``) so rule-fused forms —
+fewer communication rounds, fewer fault exposures — win.
+
+Outcome contract (chaos-tested, ``testing/chaos.py --recover``):
+a supervised run either *completes* with per-rank values
+``defined_equal`` to the fault-free run, or raises
+:class:`~repro.recovery.errors.UnrecoverableError` naming the exhausted
+policy.  Never a hang, never defined-but-wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.cost import MachineParams, program_rounds
+from repro.core.stages import Program, Stage
+from repro.faults import FaultPlan, FaultSummary
+from repro.faults.errors import FaultError
+from repro.machine.engine import DeadlockError, SimResult, run_spmd
+from repro.machine.primitives import RankContext
+from repro.machine.run import execute_stage
+from repro.recovery.checkpoint import Checkpoint, digest_state
+from repro.recovery.errors import UnrecoverableError
+from repro.recovery.events import RecoveryLog
+from repro.recovery.health import LinkHealthBoard
+from repro.recovery.policy import RecoveryPolicy
+from repro.recovery.state import SupervisedFaultState
+
+__all__ = ["RecoveryResult", "supervise"]
+
+Link = tuple[int, int]
+
+#: engines a supervised run may execute on
+ENGINES = ("machine", "threaded")
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of one supervised run (successful by construction)."""
+
+    #: final per-rank values (devectorized when ``vectorize=True``)
+    values: tuple[Any, ...]
+    #: simulated makespan including checkpoint/backoff/reroute overheads
+    time: float
+    #: full structured event log (JSON-serializable; see docs/FAULTS.md)
+    log: RecoveryLog
+    #: fault forensics aggregated over every attempt epoch
+    faults: FaultSummary
+    #: total stage attempts (== number of stages when nothing fired)
+    attempts: int
+    #: checkpoint restores performed
+    replays: int
+    #: physical links quarantined during the run
+    quarantined: tuple[Link, ...]
+    #: ``(dead_host, adopted_by)`` shrink operations, in order
+    shrinks: tuple[tuple[int, int], ...]
+    #: content digest of the final distributed state
+    digest: str
+    #: the program actually executed (suffix may differ after a replan)
+    program: Program
+
+
+def supervise(
+    program: Program,
+    inputs: Sequence[Any],
+    params: MachineParams,
+    faults: FaultPlan | None = None,
+    policy: RecoveryPolicy | None = None,
+    engine: str = "machine",
+    vectorize: bool = False,
+    log: RecoveryLog | None = None,
+) -> RecoveryResult:
+    """Run ``program`` under checkpoint/restart supervision.
+
+    ``engine`` selects the execution substrate (``"machine"`` cooperative
+    or ``"threaded"`` blocking); both produce the same values and the
+    same recovery decisions for the same plan.  ``vectorize=True`` runs
+    local stages as NumPy block kernels with checkpoints taken over the
+    packed arrays (restored bit-identically); programs the kernels cannot
+    lower fall back to object mode, and resilience replanning is skipped
+    in vectorized mode (the lowered program is not rewritten mid-run).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if log is None:
+        log = RecoveryLog()
+    policy = (policy or RecoveryPolicy()).resolved(params)
+
+    if vectorize:
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+            vectorize_block,
+            vectorize_program,
+        )
+
+        try:
+            vprog = vectorize_program(program)
+            vinputs = [vectorize_block(x) for x in inputs]
+        except KernelUnsupported:
+            vprog = None
+        if vprog is not None:
+            try:
+                result = _supervise(vprog, vinputs, params, faults, policy,
+                                    engine, log, allow_replan=False)
+            except KernelFallback:
+                log = RecoveryLog()  # replay exactly in object mode
+            else:
+                values = tuple(devectorize_block(v) for v in result.values)
+                return dataclasses.replace(
+                    result, values=values, digest=digest_state(values))
+
+    return _supervise(program, inputs, params, faults, policy, engine, log,
+                      allow_replan=True)
+
+
+def _run_stage(engine: str, stage: Stage, blocks: Sequence[Any],
+               clocks: Sequence[float], params: MachineParams,
+               fstate: SupervisedFaultState) -> SimResult:
+    """Execute one stage on every rank, resuming checkpointed clocks."""
+    if engine == "machine":
+        def rank_fn(ctx: RankContext, x: Any):
+            value = yield from execute_stage(ctx, stage, x)
+            return value
+
+        return run_spmd(rank_fn, blocks, params,
+                        fault_state=fstate, initial_clocks=clocks)
+
+    from repro.mpi.threaded import ThreadedComm, threaded_spmd_run
+
+    def rank_program(comm: ThreadedComm, x: Any) -> Any:
+        ctx = comm._ctx
+        return ctx.drive(execute_stage(ctx, stage, x))
+
+    return threaded_spmd_run(rank_program, blocks, params,
+                             fault_state=fstate, initial_clocks=clocks)
+
+
+def _replan(stages: list[Stage], i: int, params: MachineParams,
+            policy: RecoveryPolicy, log: RecoveryLog) -> list[Stage]:
+    """Re-optimize the not-yet-executed suffix preferring fused forms.
+
+    Runs the rule engine over ``stages[i:]`` with the resilience term
+    armed (``round_penalty``): every avoided communication round is now
+    worth one full-block message, so semantics-preserving fusions that
+    merely broke even on the paper's cost model win.  The completed
+    prefix is never touched — its checkpoints stay valid.
+    """
+    from repro.core.optimizer import optimize
+
+    suffix = Program(stages[i:], name="recovery-suffix")
+    rparams = params.with_(round_penalty=policy.resilience_penalty)
+    try:
+        result = optimize(suffix, rparams, strategy="greedy")
+    except Exception:  # a suffix the rule engine cannot handle: keep it
+        return stages
+    new_suffix = result.program
+    if tuple(new_suffix.stages) == tuple(suffix.stages):
+        return stages
+    log.emit(
+        "replan", stage=i,
+        stages_before=len(suffix.stages), stages_after=len(new_suffix.stages),
+        rounds_before=program_rounds(suffix, params),
+        rounds_after=program_rounds(new_suffix, params),
+        cost_before=result.cost_before, cost_after=result.cost_after,
+    )
+    return stages[:i] + list(new_suffix.stages)
+
+
+def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
+               faults: FaultPlan | None, policy: RecoveryPolicy, engine: str,
+               log: RecoveryLog, allow_replan: bool) -> RecoveryResult:
+    p = len(inputs)
+    if p == 0:
+        raise ValueError("cannot supervise an empty machine")
+
+    fstate = SupervisedFaultState(faults if faults is not None else FaultPlan(), p)
+    board = LinkHealthBoard(policy.quarantine_after)
+    stages: list[Stage] = list(program.stages)
+
+    ckpt = Checkpoint.capture(-1, inputs, [0.0] * p, fstate.cursor())
+    log.emit("start", stage=-1, engine=engine, p=p, stages=len(stages),
+             digest=ckpt.digest,
+             plan=faults.describe() if faults is not None else None)
+
+    blocks: list[Any] = ckpt.restore_blocks()
+    clocks: list[float] = list(ckpt.clocks)
+    shrinks: list[tuple[int, int]] = []
+    total_attempts = 0
+    replays = 0
+    i = 0
+    attempts = 0  # attempts of the *current* stage
+
+    while i < len(stages):
+        stage = stages[i]
+        known_dead = set(fstate.dead)
+        failure: FaultError | None = None
+        total_attempts += 1
+        attempts += 1
+        try:
+            result = _run_stage(engine, stage, blocks, clocks, params, fstate)
+        except DeadlockError as exc:
+            raise UnrecoverableError(
+                "deadlock", i, "protocol deadlock cannot be replayed away"
+            ) from exc
+        except FaultError as exc:
+            failure = exc
+            result = None
+
+        new_dead = sorted(h for h in fstate.dead if h not in known_dead)
+
+        if failure is None and not new_dead:
+            # committed: snapshot the stage boundary (checkpoint cost is
+            # charged to every rank's clock, values are untouched)
+            blocks = list(result.values)
+            clocks = [c + policy.checkpoint_ops for c in result.stats.clocks]
+            ckpt = Checkpoint.capture(i, blocks, clocks, fstate.cursor())
+            blocks = ckpt.restore_blocks()
+            log.emit("checkpoint", stage=i, digest=ckpt.digest,
+                     clock=max(clocks), attempt=attempts)
+            i += 1
+            attempts = 0
+            continue
+
+        # ---- failed attempt: diagnose, adapt, roll back, replay ----------
+        timeouts = sorted(set(fstate.timeouts))
+        log.emit("fault", stage=i, attempt=attempts,
+                 error=type(failure).__name__ if failure is not None else None,
+                 timeouts=[list(t) for t in timeouts],
+                 crashed=new_dead)
+
+        # quarantine persistently failing links; a timeout on an already
+        # quarantined link means rerouting itself failed (no healthy relay)
+        quarantined_now = False
+        for link in timeouts:
+            if link in fstate.quarantined:
+                raise UnrecoverableError(
+                    "link-quarantine", i,
+                    f"link {link[0]}->{link[1]} is quarantined and no healthy "
+                    f"relay path around it exists",
+                ) from failure
+            if board.strike(link):
+                fstate.quarantine(link)
+                quarantined_now = True
+                relay = fstate.find_relay(*link)
+                log.emit("quarantine", stage=i,
+                         link=list(link), strikes=board.strikes[link],
+                         relay=relay, health=board.snapshot())
+
+        # shrink-recovery: re-host the dead rank's blocks onto a survivor
+        for host in new_dead:
+            if not policy.allow_shrink:
+                raise UnrecoverableError(
+                    "shrink-disabled", i,
+                    f"rank {host} crashed and shrink recovery is disabled",
+                ) from failure
+            if len(shrinks) >= policy.max_shrinks:
+                raise UnrecoverableError(
+                    "shrink-budget", i,
+                    f"rank {host} crashed after {len(shrinks)} shrinks "
+                    f"(budget {policy.max_shrinks})",
+                ) from failure
+            survivors = fstate.alive_hosts()
+            if not survivors:
+                raise UnrecoverableError(
+                    "shrink", i, "no surviving ranks to shrink onto",
+                ) from failure
+            load = {r: 0 for r in survivors}
+            for h in fstate.hosts:
+                if h in load:
+                    load[h] += 1
+            adopted_by = min(survivors, key=lambda r: (load[r], r))
+            moved = fstate.rehost(host, adopted_by)
+            shrinks.append((host, adopted_by))
+            log.emit("shrink", stage=i, dead=host, adopted_by=adopted_by,
+                     virtual_ranks=moved, survivors=len(survivors))
+
+        if quarantined_now and allow_replan and policy.prefer_fused_on_quarantine:
+            stages = _replan(stages, i, params, policy, log)
+
+        if attempts >= policy.max_stage_attempts:
+            raise UnrecoverableError(
+                "retry-budget", i,
+                f"stage failed {attempts} attempts "
+                f"(budget {policy.max_stage_attempts})",
+            ) from failure
+
+        # roll back to the last committed boundary: blocks, clocks (plus
+        # capped exponential backoff), and the fault cursor — replay is a
+        # pure function of the checkpoint on either engine
+        backoff = policy.backoff_for(attempts)
+        blocks = ckpt.restore_blocks()
+        clocks = [c + backoff for c in ckpt.clocks]
+        fstate.restore_cursor(ckpt.cursor)
+        fstate.reset_for_replay()
+        replays += 1
+        log.emit("restore", stage=i, attempt=attempts + 1, backoff=backoff,
+                 from_stage=ckpt.stage, digest=ckpt.digest)
+
+    time = max(clocks) if clocks else 0.0
+    final_digest = digest_state(blocks)
+    log.emit("complete", stage=len(stages) - 1, time=time,
+             attempts=total_attempts, replays=replays,
+             quarantined=sorted([list(q) for q in fstate.quarantined]),
+             shrinks=[list(s) for s in shrinks], digest=final_digest)
+    return RecoveryResult(
+        values=tuple(blocks),
+        time=time,
+        log=log,
+        faults=fstate.total_summary(),
+        attempts=total_attempts,
+        replays=replays,
+        quarantined=tuple(sorted(fstate.quarantined)),
+        shrinks=tuple(shrinks),
+        digest=final_digest,
+        program=Program(stages, name=program.name),
+    )

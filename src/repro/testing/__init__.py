@@ -30,7 +30,9 @@ from repro.testing.chaos import (
     ChaosFailure,
     ChaosReport,
     faulted_run,
+    recovered_run,
     run_chaos,
+    run_chaos_recovery,
 )
 from repro.testing.conformance import (
     PAPER_RULES,
@@ -64,7 +66,9 @@ __all__ = [
     "ChaosFailure",
     "ChaosReport",
     "faulted_run",
+    "recovered_run",
     "run_chaos",
+    "run_chaos_recovery",
     "PAPER_RULES",
     "CaseFailure",
     "ConformanceReport",

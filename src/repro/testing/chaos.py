@@ -51,7 +51,8 @@ from repro.testing.generator import (
 )
 from repro.testing.soundness import sample_machine_params
 
-__all__ = ["ChaosFailure", "ChaosReport", "Outcome", "faulted_run", "run_chaos"]
+__all__ = ["ChaosFailure", "ChaosReport", "Outcome", "faulted_run",
+           "recovered_run", "run_chaos", "run_chaos_recovery"]
 
 _CYCLE = len(RULE_CASES) + 1  # mirror the fault-free conformance deck
 
@@ -96,20 +97,22 @@ def faulted_run(engine: str, program, xs: Sequence[Any],
 class ChaosFailure:
     """One chaos-mode violation, with everything needed to replay it."""
 
-    kind: str        # "typed-errors" | "engine-agreement" | "degradation" | "optimized"
+    kind: str        # "typed-errors" | "engine-agreement" | "degradation" | "optimized" | "recovery"
     iteration: int
     plan_index: int
     case_seed: int
     plan_seed: int
     base_seed: int
     detail: str
+    #: extra CLI flags needed to replay (e.g. " --recover")
+    flags: str = ""
 
     def describe(self) -> str:
         return (
             f"[{self.kind}] iteration {self.iteration}, plan {self.plan_index} "
             f"(case seed {self.case_seed}, plan seed {self.plan_seed})\n"
             f"{self.detail}\n"
-            f"replay   : python -m repro conformance --chaos "
+            f"replay   : python -m repro conformance --chaos{self.flags} "
             f"--seed {self.base_seed} --iters {self.iteration + 1}"
         )
 
@@ -127,14 +130,17 @@ class ChaosReport:
     degraded: int = 0        # completed runs with at least one UNDEF hole
     error_kinds: Counter = field(default_factory=Counter)
     failures: list[ChaosFailure] = field(default_factory=list)
+    #: True for --recover mode (supervised runs; "completed" = recovered)
+    recover: bool = False
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def describe(self) -> str:
+        mode = "chaos recovery" if self.recover else "chaos conformance"
         lines = [
-            f"chaos conformance: seed={self.seed} iters={self.iters} "
+            f"{mode}: seed={self.seed} iters={self.iters} "
             f"plans/case={self.plans_per_case}",
             f"  cases             : {self.cases}",
             f"  faulted runs      : {self.plan_runs}",
@@ -287,6 +293,152 @@ def run_chaos(
                                 f"LHS and RHS survived the same plan but "
                                 f"disagree on defined blocks"),
                     ))
+
+        if len(report.failures) >= max_failures:
+            break
+
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Chaos with recovery (--recover): supervised runs must recover or refuse
+# ---------------------------------------------------------------------------
+
+def recovered_run(engine: str, program, xs: Sequence[Any],
+                  params: MachineParams, plan: FaultPlan,
+                  policy=None) -> Outcome:
+    """Run one engine under supervision, classifying the outcome.
+
+    Legal outcomes are exactly two: ``"ok"`` (recovered — values must
+    equal the fault-free reference) and ``"UnrecoverableError"`` (the
+    supervisor refused with a typed, policy-naming error).  A raw fault
+    error, a deadlock, or anything untyped escaping :func:`supervise`
+    is a contract violation the caller reports.
+    """
+    from repro.recovery import UnrecoverableError, supervise
+
+    try:
+        res = supervise(program, list(xs), params, faults=plan,
+                        policy=policy, engine=engine)
+    except UnrecoverableError as exc:
+        return Outcome(kind="UnrecoverableError",
+                       detail=f"[{exc.policy}] {exc}")
+    except FaultError as exc:  # raw fault escaped the supervisor
+        return Outcome(kind=type(exc).__name__, detail=str(exc))
+    except DeadlockError as exc:
+        return Outcome(kind="DeadlockError", detail=str(exc))
+    except Exception as exc:  # noqa: BLE001 - the property under test
+        return Outcome(kind="untyped",
+                       detail=f"{type(exc).__name__}: {exc}")
+    return Outcome(kind="ok", values=tuple(res.values),
+                   clocks=(res.time,),
+                   detail=f"attempts={res.attempts} replays={res.replays}")
+
+
+def run_chaos_recovery(
+    seed: int = 0,
+    iters: int = 25,
+    plans_per_case: int = 4,
+    machine_sizes: Sequence[int] = (2, 3, 4, 5, 8),
+    max_failures: int = 5,
+    policy=None,
+) -> ChaosReport:
+    """Chaos with the recovery runtime in the loop (``--chaos --recover``).
+
+    Same deck of generated programs and sampled plans as :func:`run_chaos`,
+    but every faulted run goes through :func:`repro.recovery.supervise` on
+    both engines.  The headline invariant: a *survivable* plan produces
+    values ``defined_equal`` to the fault-free run (same ``UNDEF`` mask —
+    recovery masks faults completely, it never widens holes); an
+    unsurvivable plan ends in a typed ``UnrecoverableError`` naming the
+    exhausted policy.  Never a hang, never defined-but-wrong.  Both
+    engines must agree on the outcome kind and, when recovered, on every
+    block (virtual times and attempt counts may differ — the engines can
+    observe simultaneous faults in different orders).
+    """
+    report = ChaosReport(seed=seed, iters=iters,
+                         plans_per_case=plans_per_case, recover=True)
+    seen: set[tuple[str, str]] = set()
+
+    def record(failure: ChaosFailure) -> None:
+        key = (failure.kind, failure.detail)
+        if key not in seen:
+            seen.add(key)
+            report.failures.append(failure)
+
+    sizes = [s for s in machine_sizes if s >= 2] or [2]
+    for i in range(iters):
+        case_seed = seed * 1_000_003 + i
+        rng = random.Random(case_seed)
+        slot = i % _CYCLE
+        if slot < len(RULE_CASES):
+            gp = generate_from_case(rng, RULE_CASES[slot])
+        else:
+            gp = generate_random(rng)
+        report.cases += 1
+
+        n = rng.choice(sizes)
+        params = sample_machine_params(rng).with_(p=n)
+        xs = gp.inputs(rng, n)
+        ref = simulate_program(gp.program, list(xs), params)
+
+        for k in range(plans_per_case):
+            plan_seed = case_seed * 7919 + k
+            plan = FaultPlan.sample(plan_seed, n, horizon=ref.time)
+            header = (f"program  : {gp.program.pretty()}\n"
+                      f"inputs   : {list(xs)}  (p={n})\n"
+                      f"plan     : {plan.describe()}")
+
+            mach = recovered_run("machine", gp.program, xs, params, plan,
+                                 policy=policy)
+            thr = recovered_run("threaded", gp.program, xs, params, plan,
+                                policy=policy)
+            report.plan_runs += 2
+
+            for engine, outcome in (("machine", mach), ("threaded", thr)):
+                if outcome.ok:
+                    report.completed += 1
+                    if any(outcome.undef_mask):
+                        report.degraded += 1
+                else:
+                    report.error_kinds[outcome.kind] += 1
+                # contract: ok or UnrecoverableError, nothing else
+                if not outcome.ok and outcome.kind != "UnrecoverableError":
+                    record(ChaosFailure(
+                        kind="typed-errors", iteration=i, plan_index=k,
+                        case_seed=case_seed, plan_seed=plan_seed,
+                        base_seed=seed, flags=" --recover",
+                        detail=f"{header}\n{engine} supervision leaked "
+                               f"{outcome.kind}: {outcome.detail}",
+                    ))
+                # headline invariant: recovered == fault-free, exactly
+                if outcome.ok and not (
+                        outcome.undef_mask
+                        == tuple(v is UNDEF for v in ref.values)
+                        and defined_equal(outcome.values, ref.values)):
+                    record(ChaosFailure(
+                        kind="recovery", iteration=i, plan_index=k,
+                        case_seed=case_seed, plan_seed=plan_seed,
+                        base_seed=seed, flags=" --recover",
+                        detail=(f"{header}\n"
+                                f"{engine} recovered to wrong values:\n"
+                                f"recovered: {list(outcome.values)}\n"
+                                f"reference: {list(ref.values)}"),
+                    ))
+
+            agree = mach.kind == thr.kind
+            if agree and mach.ok:
+                agree = (mach.undef_mask == thr.undef_mask
+                         and defined_equal(mach.values, thr.values))
+            if not agree:
+                record(ChaosFailure(
+                    kind="engine-agreement", iteration=i, plan_index=k,
+                    case_seed=case_seed, plan_seed=plan_seed,
+                    base_seed=seed, flags=" --recover",
+                    detail=(f"{header}\n"
+                            f"{_outcome_summary('machine', mach)}\n"
+                            f"{_outcome_summary('threaded', thr)}"),
+                ))
 
         if len(report.failures) >= max_failures:
             break

@@ -1,0 +1,106 @@
+"""FaultPlan JSON serialization: round-trip + golden wire format.
+
+Seeds replay a *sampled* plan only as long as ``FaultPlan.sample`` never
+changes; the JSON form archives the plan itself.  The golden file pins
+the version-1 wire format — if ``to_json`` ever changes shape, the
+golden test fails and ``_JSON_VERSION`` must be bumped with a migration
+path, instead of silently orphaning archived chaos counterexamples.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.faults import FaultPlan, LinkFault, RankCrash
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "faultplan_v1.json"
+
+#: the plan the golden file was written from (keep in sync with the file)
+GOLDEN_PLAN = FaultPlan(
+    link_faults=(
+        LinkFault(0, 1, "drop", first=0, count=2),
+        LinkFault(2, 3, "drop", first=1, count=None),
+        LinkFault(1, 0, "delay", first=0, count=1, delay=12.5),
+        LinkFault(3, 2, "dup", first=2, count=1),
+    ),
+    crashes=(RankCrash(rank=2, at_clock=40.0),),
+    jitter=1.5,
+    seed=424242,
+    max_retries=4,
+    backoff=1.5,
+    retry_timeout=9.0,
+)
+
+
+class TestRoundTrip:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_full_plan(self):
+        assert FaultPlan.from_json(GOLDEN_PLAN.to_json()) == GOLDEN_PLAN
+
+    def test_sampled_plans(self):
+        for seed in range(200):
+            plan = FaultPlan.sample(seed, p=random.Random(seed).choice(
+                (2, 3, 4, 8)), horizon=50.0)
+            back = FaultPlan.from_json(plan.to_json())
+            assert back == plan, f"round-trip changed plan (seed {seed})"
+
+    def test_indent_is_cosmetic(self):
+        a = FaultPlan.from_json(GOLDEN_PLAN.to_json())
+        b = FaultPlan.from_json(GOLDEN_PLAN.to_json(indent=2))
+        assert a == b == GOLDEN_PLAN
+
+    def test_round_trip_preserves_behavior(self):
+        """Serialized plans interpret identically, not just compare equal."""
+        plan = FaultPlan.sample(7, p=4, horizon=40.0)
+        back = FaultPlan.from_json(plan.to_json())
+        for src, dst in ((0, 1), (1, 0), (2, 3)):
+            for n in range(5):
+                assert plan.verdict(src, dst, n) == back.verdict(src, dst, n)
+                assert plan.jitter_for(src, dst, n) == back.jitter_for(src, dst, n)
+        for rank in range(4):
+            assert plan.crash_clock(rank) == back.crash_clock(rank)
+
+
+class TestGoldenFile:
+    def test_golden_parses_to_expected_plan(self):
+        assert FaultPlan.from_json(GOLDEN.read_text()) == GOLDEN_PLAN
+
+    def test_serialization_matches_golden(self):
+        """Byte-stable wire format (modulo the trailing newline)."""
+        assert GOLDEN_PLAN.to_json(indent=2) + "\n" == GOLDEN.read_text()
+
+    def test_golden_is_version_1(self):
+        assert json.loads(GOLDEN.read_text())["version"] == 1
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self):
+        doc = json.loads(GOLDEN_PLAN.to_json())
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_missing_version_rejected(self):
+        doc = json.loads(GOLDEN_PLAN.to_json())
+        del doc["version"]
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_corrupt_fault_rejected_by_constructors(self):
+        doc = json.loads(GOLDEN_PLAN.to_json())
+        doc["link_faults"][0]["kind"] = "explode"
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_self_link_rejected(self):
+        doc = json.loads(GOLDEN_PLAN.to_json())
+        doc["link_faults"][0]["dst"] = doc["link_faults"][0]["src"]
+        with pytest.raises(ValueError, match="distinct"):
+            FaultPlan.from_json(json.dumps(doc))
