@@ -11,10 +11,30 @@ these files).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 from typing import Any
 
+import numpy as np
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def host_metadata() -> dict[str, Any]:
+    """The host descriptor stamped into every BENCH_*.json.
+
+    Wall-clock numbers are meaningless without the machine they were
+    measured on; CI archives these files across runners, so each one
+    records where it came from.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 def emit(name: str, lines: list[str]) -> str:
@@ -32,9 +52,13 @@ def emit_json(name: str, payload: Any) -> str:
 
     ``payload`` is typically a dict with a ``"series"`` list of per-run
     records (op, p, block size, backend, median/stdev over repeats) — the
-    schema CI consumes and ``docs/PERFORMANCE.md`` documents.
+    schema CI consumes and ``docs/PERFORMANCE.md`` documents.  A
+    ``"host"`` descriptor (:func:`host_metadata`) is stamped into every
+    file automatically (an explicit ``"host"`` key in ``payload`` wins).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(payload, dict):
+        payload = {"host": host_metadata(), **payload}
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n--- BENCH_{name}.json ---")

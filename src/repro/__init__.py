@@ -34,6 +34,12 @@ Kernels
     NumPy lowering of operators and fused local stages, with exact
     object-mode fallback (see ``docs/PERFORMANCE.md``).
 
+Parallel execution
+    :mod:`repro.parallel` — the process-per-rank shared-memory backend:
+    real OS processes, zero-copy block transfer through shared-memory
+    rings, chunk-pipelined large messages — same collectives, same
+    simulated clocks (``simulate_program(..., engine="process")``).
+
 MPI-style front end
     :mod:`repro.mpi` — an mpi4py-flavoured ``Comm`` API over the simulator,
     and :mod:`repro.lang` — a tiny MPI-like surface language that parses

@@ -137,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bd.add_argument("--modulus", type=int, default=None)
     p_bd.add_argument("--gantt", action="store_true",
                       help="also draw the communication timeline")
+    p_bd.add_argument("--engine",
+                      choices=("cooperative", "threaded", "process"),
+                      default="cooperative",
+                      help="also execute on this engine and cross-check the "
+                           "simulated total (per-stage rows always come from "
+                           "the cooperative engine's probe timeline)")
 
     p_rep = subs.add_parser("report", help="markdown derivation report")
     p_rep.add_argument("file", help="program file, or - for stdin")
@@ -270,6 +276,14 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
     for t in timings:
         print(f"{t.index:>3} {t.pretty:<40} {t.duration:>12.1f} {t.end:>12.1f}")
     print(f"total simulated time: {result.time:.1f}")
+    if args.engine != "cooperative":
+        from repro.machine.run import simulate_program
+
+        engine_result = simulate_program(program, inputs, params,
+                                         engine=args.engine)
+        agree = "agrees" if engine_result.time == result.time else "DISAGREES"
+        print(f"{args.engine} engine total: {engine_result.time:.1f} "
+              f"({agree} with the cooperative engine)")
     if args.gantt:
         from repro.analysis.gantt import comm_gantt
 
@@ -352,6 +366,13 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
                              max_failures=args.max_failures)
     print(report.describe())
+    from repro.parallel import process_backend_available, process_fallback_reason
+
+    if not process_backend_available(2):
+        # mirrored skip semantics: the oracle reports the process backend
+        # as SKIPPED (not failed) where real rank processes cannot run
+        print(f"note: process backend skipped "
+              f"({process_fallback_reason(2)})", file=sys.stderr)
     if not report.covered_both_ways():
         print("warning: not every paper rule was covered both ways "
               "(increase --iters)", file=sys.stderr)

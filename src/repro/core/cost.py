@@ -64,6 +64,8 @@ __all__ = [
     "SymbolicCost",
     "stage_formula",
     "program_formula",
+    "pipelined_transfer_cost",
+    "pipeline_chunk_count",
 ]
 
 
@@ -135,6 +137,61 @@ PARSYTEC_LIKE = MachineParams(p=64, ts=600.0, tw=2.0, m=1024)
 LOW_LATENCY = MachineParams(p=64, ts=4.0, tw=0.5, m=1024)
 #: An extreme WAN/cluster-of-clusters regime (start-up utterly dominates).
 HIGH_LATENCY = MachineParams(p=64, ts=50000.0, tw=10.0, m=1024)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined large-message transfers (Lowery & Langou, arXiv:1310.4645)
+# ---------------------------------------------------------------------------
+
+
+def pipelined_transfer_cost(params: MachineParams, words: float,
+                            chunks: int, depth: int = 2) -> float:
+    """Model time of a ``words``-word message split into ``chunks`` pieces.
+
+    A message travelling through a ``depth``-stage pipeline (sender write
+    and receiver read give ``depth=2``; a ``d``-deep broadcast/reduction
+    tree gives ``depth=d+1``) completes in
+
+        ``(chunks + depth - 1) * (ts + (words/chunks) * tw)``
+
+    — the classic pipelining trade-off analysed by Lowery & Langou for
+    pipelined-reduction crossovers: more chunks pay more start-ups but
+    overlap more of the per-word time across stages.  ``chunks=1``
+    degenerates to ``depth`` sequential full-message hops.
+    """
+    if chunks < 1:
+        raise ValueError("need at least one chunk")
+    if depth < 1:
+        raise ValueError("need at least one pipeline stage")
+    return (chunks + depth - 1) * (params.ts + (words / chunks) * params.tw)
+
+
+def pipeline_chunk_count(params: MachineParams, words: float,
+                         depth: int = 2) -> int:
+    """Cost-optimal number of chunks for a pipelined ``words``-word message.
+
+    Minimizing :func:`pipelined_transfer_cost` over the chunk count
+    ``n`` — ``T(n) = n*ts + words*tw + (depth-1)*(ts + words*tw/n)`` —
+    gives the crossover
+
+        ``n* = sqrt((depth-1) * words * tw / ts)``
+
+    (Lowery & Langou): chunking only pays once the per-word volume
+    ``words*tw`` exceeds the start-up ``ts``, and the optimum grows with
+    the square root of the message size.  The result is clamped to
+    ``[1, words]`` and rounded to the cheaper neighbouring integer; a
+    free start-up (``ts == 0``) means maximal chunking.
+    """
+    if depth < 2 or words <= 1 or params.tw == 0.0:
+        return 1  # nothing downstream to overlap with, or transfers free
+    max_chunks = max(int(words), 1)
+    if params.ts == 0.0:
+        return max_chunks
+    opt = math.sqrt((depth - 1) * words * params.tw / params.ts)
+    lo = max(1, min(max_chunks, int(opt)))
+    hi = max(1, min(max_chunks, lo + 1))
+    return min((lo, hi), key=lambda n: pipelined_transfer_cost(
+        params, words, n, depth))
 
 
 # ---------------------------------------------------------------------------

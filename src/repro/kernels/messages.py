@@ -6,18 +6,33 @@ object mode those are tuples of scalars and the cost of boxing is already
 paid; in vectorized mode they are tuples of same-shape arrays, and sending
 them as a Python tuple means the transport handles k separate buffers per
 message.  :func:`pack_block` stacks such a tuple into **one** contiguous
-``(k, *shape)`` buffer (one allocation, one copy per component), and
-:func:`unpack_block` returns views into it — the receiver pays no copy at
-all.
+``(k, *shape)`` buffer, and :func:`unpack_block` returns views into it —
+the receiver pays no copy at all.
+
+Copy discipline (regression-tested in ``tests/test_messages_copies.py``):
+
+* packing an *arbitrary* tuple costs one ``np.stack`` (one allocation,
+  one copy per component) — unavoidable, the components are scattered;
+* packing a tuple that came out of :func:`unpack_block` — the common case
+  when a butterfly phase *forwards* a received state — is **zero-copy**:
+  the components are recognized as consecutive views of one buffer and
+  that buffer is reused verbatim;
+* unpacking materializes its views **lazily** and caches them on the
+  block, so repeated unpacks (or an unpack after a zero-copy repack)
+  never rebuild the view tuple;
+* payloads that are not tuples of same-shape arrays — in particular
+  contiguous *single-array* payloads and all of object mode — pass
+  through the transport untouched (no ``np.copy``, same object).
 
 The threaded MPI backend applies this transparently at its single
-primitive-action funnel; payloads that are not tuples of same-shape,
-same-dtype arrays (all of object mode) pass through untouched.
+primitive-action funnel; the process backend
+(:mod:`repro.parallel`) reuses the same seam to move packed states as one
+contiguous shared-memory stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -30,10 +45,43 @@ class PackedBlock:
     """A k-component tuple state flattened into one contiguous buffer."""
 
     buffer: np.ndarray  # shape (k, *component_shape), C-contiguous
+    #: lazily-materialized component views (cached by :meth:`unpack`)
+    _views: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def components(self) -> int:
         return self.buffer.shape[0]
+
+    def unpack(self) -> tuple:
+        """The component tuple — zero-copy views, built once and cached."""
+        if self._views is None:
+            buf = self.buffer
+            object.__setattr__(
+                self, "_views", tuple(buf[i] for i in range(buf.shape[0])))
+        return self._views
+
+
+def _repack_base(payload: tuple) -> np.ndarray | None:
+    """The shared parent buffer, when ``payload`` is an unpacked block.
+
+    Recognizes tuples whose components are exactly the consecutive
+    first-axis views of one ``(k, *shape)`` array — the shape
+    :func:`unpack_block` produces — so forwarding a received state does
+    not pay a second ``np.stack``.
+    """
+    base = payload[0].base
+    if base is None or base.shape != (len(payload),) + payload[0].shape \
+            or base.dtype != payload[0].dtype or not base.flags.c_contiguous:
+        return None
+    for i, c in enumerate(payload):
+        if c.base is not base:
+            return None
+        want = base[i].__array_interface__
+        have = c.__array_interface__
+        if have["data"] != want["data"] or have["strides"] != want["strides"] \
+                or have["shape"] != want["shape"]:
+            return None
+    return base
 
 
 def pack_block(payload: Any) -> PackedBlock | None:
@@ -53,10 +101,12 @@ def pack_block(payload: Any) -> PackedBlock | None:
         if not isinstance(c, np.ndarray) or c.shape != first.shape \
                 or c.dtype != first.dtype:
             return None
+    base = _repack_base(payload)
+    if base is not None:
+        return PackedBlock(base, _views=payload)
     return PackedBlock(np.stack(payload))
 
 
 def unpack_block(packed: PackedBlock) -> tuple:
-    """Recover the component tuple (zero-copy views into the buffer)."""
-    buf = packed.buffer
-    return tuple(buf[i] for i in range(buf.shape[0]))
+    """Recover the component tuple (cached zero-copy views)."""
+    return packed.unpack()

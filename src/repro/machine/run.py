@@ -160,6 +160,7 @@ def scan_balanced_butterfly_entry(ctx: RankContext, x: Any, stage: BalancedScanS
 def simulate_program(
     program: Program, inputs: Sequence[Any], params: MachineParams,
     faults: FaultPlan | None = None, vectorize: bool = False,
+    engine: str = "cooperative",
 ) -> SimResult:
     """Simulate ``program`` on ``len(inputs)`` processors.
 
@@ -176,7 +177,32 @@ def simulate_program(
     run.  Programs or inputs without a kernel lowering — and runs hitting
     a checked integer overflow — automatically fall back to the exact
     object-mode simulation.
+
+    ``engine`` selects the execution machinery — results, simulated
+    clocks and statistics are identical across all three (the conformance
+    harness checks this):
+
+    * ``"cooperative"`` (default) — all ranks as coroutines in one
+      discrete-event loop (deterministic, cheapest, full timelines);
+    * ``"threaded"`` — one OS thread per rank, blocking rendezvous;
+    * ``"process"`` — one OS *process* per rank, payloads through
+      shared-memory rings (:mod:`repro.parallel`); real parallelism for
+      GIL-bound workloads, degrading to ``"threaded"`` with a logged
+      notice where the platform cannot support it.
     """
+    if engine == "threaded":
+        from repro.mpi.threaded import simulate_program_threaded
+
+        return simulate_program_threaded(program, inputs, params,
+                                         faults=faults, vectorize=vectorize)
+    if engine == "process":
+        from repro.parallel import simulate_program_process
+
+        return simulate_program_process(program, inputs, params,
+                                        faults=faults, vectorize=vectorize)
+    if engine != "cooperative":
+        raise ValueError(f"unknown engine {engine!r} (expected 'cooperative',"
+                         f" 'threaded', or 'process')")
     if vectorize:
         from repro.kernels import (
             KernelFallback,

@@ -1,0 +1,43 @@
+"""Process-per-rank shared-memory execution backend.
+
+The fourth execution engine (after the cooperative simulator, the
+thread-per-rank engine, and the vectorized block-kernel layer): each rank
+is a real OS process, payloads move through ``multiprocessing``
+shared-memory rings with zero-copy sends for contiguous arrays and
+chunk-pipelined transfers for large messages, while the *same*
+generator-based collective algorithms keep the simulated clocks
+bit-identical to every other engine.
+
+Entry points:
+
+* :func:`process_spmd_run` — blocking SPMD programs, one process/rank;
+* :func:`simulate_program_process` — stage ``Program`` objects
+  (``simulate_program(..., engine="process")`` routes here);
+* :func:`process_backend_available` / :func:`process_fallback_reason` —
+  platform capability probes (used by the conformance oracle to report
+  SKIPPED instead of FAIL where shared memory is unavailable).
+"""
+
+from repro.parallel.backend import (
+    process_backend_available,
+    process_fallback_reason,
+    process_spmd_run,
+    simulate_program_process,
+)
+from repro.parallel.shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    RingTimeout,
+    SharedArena,
+)
+
+__all__ = [
+    "DEFAULT_SLOT_BYTES",
+    "DEFAULT_SLOTS",
+    "RingTimeout",
+    "SharedArena",
+    "process_backend_available",
+    "process_fallback_reason",
+    "process_spmd_run",
+    "simulate_program_process",
+]

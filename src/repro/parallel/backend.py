@@ -1,0 +1,603 @@
+"""Process-per-rank SPMD backend over POSIX shared memory.
+
+:func:`process_spmd_run` is the true-parallel sibling of
+:func:`repro.mpi.threaded.threaded_spmd_run`: one **OS process** per rank
+(forked, so programs, closures and operator lambdas need no pickling),
+every payload moving through a :class:`repro.parallel.shm.SharedArena`
+ring instead of by object reference, and the *same* generator-based
+collective algorithms (:mod:`repro.machine.collectives`) driven through
+the same blocking context as the threaded engine — which is what keeps
+the simulated clocks bit-identical across all engines (property-tested).
+
+The cross-process rendezvous mirrors ``repro.mpi.threaded._Rendezvous``
+field for field: pending actions, virtual clocks, liveness and statistics
+live in shared arrays; matching happens under one ``multiprocessing``
+lock in whichever rank posts second; completion times use the identical
+``max(clocks) + ts + words*tw`` formula (including the contention-domain
+serialization of hierarchical machines, via a pre-enumerated shared
+domain table).  Payload bytes then stream outside the lock through the
+sender's outbox ring, chunked per the Lowery & Langou crossover
+(:func:`repro.core.cost.pipeline_chunk_count`) so a large transfer's
+sender-side writes overlap the receiver-side reads.
+
+Graceful degradation, never a crash: platforms without ``fork`` or
+``multiprocessing.shared_memory``, fault-injected runs (the deterministic
+fault layer is engine-local state), and rank counts beyond the
+oversubscription cap all fall back to the threaded engine with one logged
+notice (``repro.parallel`` logger).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import multiprocessing
+import os
+import sys
+import time
+from typing import Any, Callable, Sequence
+
+from repro.core.cost import MachineParams, pipeline_chunk_count
+from repro.machine.engine import DeadlockError, SimResult, SimStats, describe_ranks
+from repro.machine.primitives import Compute, Probe, Recv, Send, SendRecv, comm_partner
+from repro.parallel import payload as _payload
+from repro.parallel.shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    SharedArena,
+    duplex,
+)
+
+__all__ = [
+    "process_backend_available",
+    "process_fallback_reason",
+    "process_spmd_run",
+    "simulate_program_process",
+]
+
+log = logging.getLogger("repro.parallel")
+
+_K_NONE, _K_SEND, _K_RECV, _K_SENDRECV = 0, 1, 2, 3
+_MIN_CHUNK_BYTES = 4096
+_WORD_BYTES = 8.0
+
+
+# ---------------------------------------------------------------------------
+# Availability / fallback policy
+# ---------------------------------------------------------------------------
+
+
+def _max_ranks() -> int:
+    """Oversubscription cap: beyond this, processes degrade to threads.
+
+    Default ``max(8, 4 * cpu_count)`` — small machines may still run the
+    canonical p≤8 configurations as real processes (they merely
+    time-slice), while absurd rank counts on small hosts degrade
+    gracefully.  Override with ``REPRO_PARALLEL_MAX_RANKS``.
+    """
+    env = os.environ.get("REPRO_PARALLEL_MAX_RANKS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            log.warning("ignoring malformed REPRO_PARALLEL_MAX_RANKS=%r", env)
+    return max(8, 4 * (os.cpu_count() or 1))
+
+
+def process_fallback_reason(p: int, faults=None, fault_state=None) -> str | None:
+    """Why ``process_spmd_run`` would degrade to the threaded engine.
+
+    ``None`` means the process backend will genuinely run.
+    """
+    if fault_state is not None or (faults is not None and not faults.is_empty):
+        return "fault injection is engine-local state (threaded engine handles it)"
+    if sys.platform == "win32":
+        return "no fork start method on this platform"
+    try:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return "no fork start method on this platform"
+    except Exception:  # pragma: no cover - broken multiprocessing
+        return "multiprocessing unavailable"
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - pre-3.8 / stripped stdlib
+        return "multiprocessing.shared_memory unavailable"
+    cap = _max_ranks()
+    if p > cap:
+        return (f"p={p} exceeds the oversubscription cap {cap} "
+                f"(cpu_count={os.cpu_count()}, REPRO_PARALLEL_MAX_RANKS to "
+                f"override)")
+    return None
+
+
+def process_backend_available(p: int = 1) -> bool:
+    """Can fault-free ``p``-rank programs run as real processes here?"""
+    return process_fallback_reason(p) is None
+
+
+# ---------------------------------------------------------------------------
+# Cross-process rendezvous
+# ---------------------------------------------------------------------------
+
+
+class _ProcessRendezvous:
+    """Shared-memory rendezvous matcher (mirrors the threaded engine's)."""
+
+    def __init__(self, size: int, params: MachineParams,
+                 arena: SharedArena, lock, events) -> None:
+        self.size = size
+        self.params = params
+        self.arena = arena
+        self.lock = lock
+        self.events = events
+        # contention domains enumerated pre-fork so every process agrees
+        # on the shared ``domain_free`` indices
+        keys = sorted({k for a in range(size) for b in range(a + 1, size)
+                       for k in params.contention_domains(a, b)}, key=repr)
+        self._domain_idx = {k: i for i, k in enumerate(keys)}
+
+    # -- matching (lock held) ----------------------------------------------
+
+    def _comm_complete(self, r: int, q: int, words: float) -> float:
+        a = self.arena
+        ts, tw = self.params.link(r, q)
+        keys = self.params.contention_domains(r, q)
+        start = max(float(a.clock[r]), float(a.clock[q]))
+        idxs = [self._domain_idx[k] for k in keys]
+        for i in idxs:
+            start = max(start, float(a.domain_free[i]))
+        t = start + ts + tw * words
+        for i in idxs:
+            a.domain_free[i] = t
+        return t
+
+    def _pending_action(self, rank: int):
+        a = self.arena
+        kind = int(a.kind[rank])
+        partner = int(a.partner[rank])
+        words = float(a.words[rank])
+        if kind == _K_SEND:
+            return Send(partner, "<shm>", words)
+        if kind == _K_RECV:
+            return Recv(partner)
+        if kind == _K_SENDRECV:
+            return SendRecv(partner, "<shm>", words)
+        return None
+
+    def _describe(self) -> str:
+        a = self.arena
+        return describe_ranks(
+            (i,
+             self._pending_action(i) if a.waiting[i] else None,
+             float(a.clock[i]),
+             not bool(a.alive[i]))
+            for i in range(self.size)
+        )
+
+    def _copy_incoming_meta(self, src: int, dst: int) -> None:
+        """Pin the sender's payload descriptor onto the receiver's slot.
+
+        The sender may post (and re-stage) its *next* message the moment
+        it wakes; copying under the matching lock gives the receiver a
+        stable descriptor regardless of scheduling.
+        """
+        a = self.arena
+        a.in_kind[dst] = a.meta_kind[src]
+        a.in_nbytes[dst] = a.meta_nbytes[src]
+        a.in_k[dst] = a.meta_k[src]
+        a.in_ndim[dst] = a.meta_ndim[src]
+        a.in_shape[dst, :] = a.meta_shape[src, :]
+        a.in_dtype[dst, :] = a.meta_dtype[src, :]
+
+    def _release(self, rank: int) -> None:
+        a = self.arena
+        a.waiting[rank] = 0
+        a.kind[rank] = _K_NONE
+        self.events[rank].set()
+
+    def _try_match(self, rank: int) -> bool:
+        a = self.arena
+        kind = int(a.kind[rank])
+        q = int(a.partner[rank])
+
+        if kind == _K_SENDRECV:
+            if a.waiting[q] and int(a.kind[q]) == _K_SENDRECV \
+                    and int(a.partner[q]) == rank:
+                words = max(float(a.words[rank]), float(a.words[q]))
+                t = self._comm_complete(rank, q, words)
+                a.clock[rank] = a.clock[q] = t
+                a.messages[0] += 2
+                a.stat_words[0] += float(a.words[rank]) + float(a.words[q])
+                a.xfer_out[rank] = q
+                a.xfer_in[rank] = q
+                a.xfer_base[rank] = int(a.wseq[q])
+                a.xfer_out[q] = rank
+                a.xfer_in[q] = rank
+                a.xfer_base[q] = int(a.wseq[rank])
+                self._copy_incoming_meta(q, rank)
+                self._copy_incoming_meta(rank, q)
+                self._release(rank)
+                self._release(q)
+                return True
+        elif kind == _K_SEND:
+            if a.waiting[q] and int(a.kind[q]) == _K_RECV \
+                    and int(a.partner[q]) == rank:
+                words = float(a.words[rank])
+                t = self._comm_complete(rank, q, words)
+                a.clock[rank] = a.clock[q] = t
+                a.messages[0] += 1
+                a.stat_words[0] += words
+                a.xfer_out[rank] = q
+                a.xfer_in[q] = rank
+                a.xfer_base[q] = int(a.wseq[rank])
+                self._copy_incoming_meta(rank, q)
+                self._release(rank)
+                self._release(q)
+                return True
+        elif kind == _K_RECV:
+            if a.waiting[q] and int(a.kind[q]) == _K_SEND \
+                    and int(a.partner[q]) == rank:
+                words = float(a.words[q])
+                t = self._comm_complete(rank, q, words)
+                a.clock[rank] = a.clock[q] = t
+                a.messages[0] += 1
+                a.stat_words[0] += words
+                a.xfer_out[q] = rank
+                a.xfer_in[rank] = q
+                a.xfer_base[rank] = int(a.wseq[q])
+                self._copy_incoming_meta(q, rank)
+                self._release(rank)
+                self._release(q)
+                return True
+        return False
+
+    def _deadlocked(self) -> bool:
+        a = self.arena
+        live = [i for i in range(self.size) if a.alive[i]]
+        return bool(live) and all(a.waiting[i] for i in live)
+
+    def _fail_all(self) -> None:
+        a = self.arena
+        detail = self._describe()
+        for i in range(self.size):
+            if a.waiting[i]:
+                a.waiting[i] = 0
+                a.kind[i] = _K_NONE
+                self.arena.deliver_failure(i, DeadlockError(
+                    f"no progress possible (protocol mismatch)\n{detail}"))
+                self.events[i].set()
+
+    def fail_waiters_on(self, rank: int, exc_factory) -> None:
+        """Lock held: fail every rank blocked on the (dead) ``rank``."""
+        a = self.arena
+        for i in range(self.size):
+            if a.waiting[i] and comm_partner(self._pending_action(i)) == rank:
+                a.waiting[i] = 0
+                a.kind[i] = _K_NONE
+                self.arena.deliver_failure(i, exc_factory(i))
+                self.events[i].set()
+
+    # -- payload movement (lock NOT held) ----------------------------------
+
+    def _chunk_bytes(self, nbytes: int) -> int:
+        """Wire chunk size for an ``nbytes`` transfer (both sides agree).
+
+        The chunk *count* comes from the machine parameters via the
+        Lowery & Langou crossover (sender write + receiver read form a
+        two-stage pipeline); the byte size is then clamped to the arena's
+        physical slot size and a protocol-overhead floor.
+        """
+        if nbytes <= _MIN_CHUNK_BYTES:
+            return _MIN_CHUNK_BYTES
+        chunks = pipeline_chunk_count(self.params, nbytes / _WORD_BYTES,
+                                      depth=2)
+        per = -(-nbytes // chunks)
+        return max(_MIN_CHUNK_BYTES, min(per, self.arena.slot_bytes))
+
+    def _transfer(self, rank: int, staged) -> Any:
+        a = self.arena
+        out_dst = int(a.xfer_out[rank])
+        in_src = int(a.xfer_in[rank])
+        writer = reader = None
+        in_kind = dest_obj = None
+        if out_dst >= 0:
+            nbytes, buffers = staged
+            writer = a.write_stream(rank, buffers, nbytes,
+                                    self._chunk_bytes(nbytes))
+        if in_src >= 0:
+            in_kind = int(a.in_kind[rank])
+            in_nbytes = int(a.in_nbytes[rank])
+            in_k = int(a.in_k[rank])
+            ndim = int(a.in_ndim[rank])
+            shape = tuple(int(s) for s in a.in_shape[rank, :ndim])
+            dtype = bytes(a.in_dtype[rank]).rstrip(b"\x00").decode("ascii")
+            dest_obj, dest_view = _payload.alloc_destination(
+                in_kind, in_nbytes, in_k, shape, dtype)
+            reader = a.read_stream(in_src, int(a.xfer_base[rank]), dest_view,
+                                   in_nbytes, self._chunk_bytes(in_nbytes))
+        if writer is not None and reader is not None:
+            duplex(writer, reader)
+        elif writer is not None:
+            writer.run()
+        elif reader is not None:
+            reader.run()
+        a.xfer_out[rank] = -1
+        a.xfer_in[rank] = -1
+        if reader is not None:
+            return _payload.finish_destination(in_kind, dest_obj)
+        return None
+
+    # -- public API (same protocol as the threaded rendezvous) --------------
+
+    def execute(self, rank: int, action: Any) -> Any:
+        a = self.arena
+        if isinstance(action, Probe):
+            return None  # per-action timelines are engine-local; see docs
+        if isinstance(action, Compute):
+            if action.ops < 0:
+                raise ValueError("negative computation cost")
+            with self.lock:
+                a.clock[rank] += action.ops
+                a.compute_ops[0] += action.ops
+            return None
+
+        staged = None
+        if isinstance(action, Send):
+            kind, partner, words = _K_SEND, action.dst, action.words
+        elif isinstance(action, Recv):
+            kind, partner, words = _K_RECV, action.src, 0.0
+        elif isinstance(action, SendRecv):
+            kind, partner, words = _K_SENDRECV, action.partner, action.words
+        else:  # pragma: no cover - exhaustive over primitives
+            raise TypeError(f"unknown action {action!r}")
+        if kind != _K_RECV:
+            wk, nbytes, k, ndim, shape, dtype, buffers = \
+                _payload.encode_payload(action.payload)
+            staged = (nbytes, buffers)
+
+        event = self.events[rank]
+        with self.lock:
+            event.clear()
+            if staged is not None:
+                _payload.stage_meta(a, rank, wk, nbytes, k, ndim, shape, dtype)
+            a.kind[rank] = kind
+            a.partner[rank] = partner
+            a.words[rank] = words
+            a.waiting[rank] = 1
+            matched = self._try_match(rank)
+            if not matched and self._deadlocked():
+                self._fail_all()
+        event.wait()
+        if a.fail_len[rank]:
+            raise a.take_failure(rank)
+        return self._transfer(rank, staged)
+
+    def finish(self, rank: int) -> None:
+        with self.lock:
+            self.arena.alive[rank] = 0
+            if self._deadlocked():
+                self._fail_all()
+
+
+# ---------------------------------------------------------------------------
+# Rank process and parent orchestration
+# ---------------------------------------------------------------------------
+
+
+def _child_main(rdv: _ProcessRendezvous, program, inputs, rank: int) -> None:
+    """One rank: drive the program, then stream the result to the parent."""
+    from repro.mpi.threaded import ThreadedComm, _ThreadContext
+
+    arena = rdv.arena
+    state = 1
+    try:
+        ctx = _ThreadContext(rank, rdv.size, rdv)
+        result = program(ThreadedComm(ctx), inputs[rank])
+    except BaseException as exc:  # noqa: BLE001 - transported to the parent
+        state, result = 2, exc
+    finally:
+        rdv.finish(rank)
+    try:
+        wk, nbytes, k, ndim, shape, dtype, buffers = \
+            _payload.encode_payload(result)
+    except Exception as exc:  # unpicklable result/exception
+        state = 2
+        wk, nbytes, k, ndim, shape, dtype, buffers = _payload.encode_payload(
+            RuntimeError(f"rank {rank} result not transportable: {exc!r}"))
+    with rdv.lock:
+        _payload.stage_meta(arena, rank, wk, nbytes, k, ndim, shape, dtype)
+        arena.result_base[rank] = int(arena.wseq[rank])
+        arena.result_state[rank] = state
+    arena.write_stream(rank, buffers, nbytes,
+                       rdv._chunk_bytes(nbytes)).run()
+
+
+def _drain_result(rdv: _ProcessRendezvous, rank: int, proc) -> tuple[int, Any]:
+    """Parent side: wait for ``rank``'s result and stream it in."""
+    a = rdv.arena
+    delay = 0.0
+    while not a.result_state[rank]:
+        if proc is not None and not proc.is_alive():
+            # died without a word (hard kill, interpreter abort): make its
+            # pending partners fail instead of spinning forever
+            death = RuntimeError(
+                f"rank {rank} process died with exitcode {proc.exitcode}")
+            with rdv.lock:
+                a.alive[rank] = 0
+                rdv.fail_waiters_on(rank, lambda i, d=death: RuntimeError(
+                    f"rank {i}: peer failed: {d}"))
+                if rdv._deadlocked():
+                    rdv._fail_all()
+            return 2, death
+        time.sleep(delay)
+        delay = min(delay * 2 or 1e-6, 1e-3)
+    state = int(a.result_state[rank])
+    in_kind = int(a.meta_kind[rank])
+    in_nbytes = int(a.meta_nbytes[rank])
+    in_k = int(a.meta_k[rank])
+    ndim = int(a.meta_ndim[rank])
+    shape = tuple(int(s) for s in a.meta_shape[rank, :ndim])
+    dtype = bytes(a.meta_dtype[rank]).rstrip(b"\x00").decode("ascii")
+    dest_obj, dest_view = _payload.alloc_destination(
+        in_kind, in_nbytes, in_k, shape, dtype)
+    a.read_stream(rank, int(a.result_base[rank]), dest_view, in_nbytes,
+                  rdv._chunk_bytes(in_nbytes)).run()
+    return state, _payload.finish_destination(in_kind, dest_obj)
+
+
+def process_spmd_run(
+    program: Callable[[Any, Any], Any],
+    inputs: Sequence[Any],
+    params: MachineParams | None = None,
+    faults=None,
+    fault_state=None,
+    initial_clocks: Sequence[float] | None = None,
+    slot_bytes: int = DEFAULT_SLOT_BYTES,
+    slots: int = DEFAULT_SLOTS,
+) -> SimResult:
+    """Run a blocking SPMD program with one OS process per rank.
+
+    Same contract as :func:`repro.mpi.threaded.threaded_spmd_run` —
+    ``program(comm, x)`` is an ordinary function over the blocking
+    mpi4py-style communicator; the returned :class:`SimResult` carries
+    per-rank values, the simulated makespan and communication statistics
+    (bit-identical to the other engines).  Payloads move through shared
+    memory; rank-local state (programs, closures, operators) is inherited
+    by forking and never serialized.
+
+    Degrades to :func:`threaded_spmd_run` — with one logged notice, never
+    an error — when the platform lacks ``fork``/``shared_memory``, when a
+    fault plan is armed, or when ``len(inputs)`` exceeds the
+    oversubscription cap (see :func:`process_fallback_reason`).
+    """
+    p = len(inputs)
+    if p == 0:
+        raise ValueError("cannot run an empty machine")
+    if params is None:
+        params = MachineParams(p=p, ts=0.0, tw=0.0, m=1)
+
+    reason = process_fallback_reason(p, faults, fault_state)
+    if reason is None:
+        try:
+            return _process_spmd_run(program, inputs, params,
+                                     initial_clocks, slot_bytes, slots)
+        except OSError as exc:
+            reason = f"shared-memory setup failed ({exc})"
+    log.warning("process backend unavailable (%s); "
+                "falling back to the threaded engine", reason)
+    from repro.mpi.threaded import threaded_spmd_run
+
+    return threaded_spmd_run(program, inputs, params, faults=faults,
+                             fault_state=fault_state,
+                             initial_clocks=initial_clocks)
+
+
+def _process_spmd_run(program, inputs, params, initial_clocks,
+                      slot_bytes, slots) -> SimResult:
+    p = len(inputs)
+    ctx = multiprocessing.get_context("fork")
+    # enumerate contention domains before building the arena so the shared
+    # free-time table has one cell per domain
+    n_domains = len({k for a in range(p) for b in range(a + 1, p)
+                     for k in params.contention_domains(a, b)})
+    arena = SharedArena(p, n_domains=n_domains, slot_bytes=slot_bytes,
+                        slots=slots)
+    try:
+        lock = ctx.Lock()
+        events = [ctx.Event() for _ in range(p)]
+        rdv = _ProcessRendezvous(p, params, arena, lock, events)
+        if initial_clocks is not None:
+            for r, clock in enumerate(initial_clocks):
+                arena.clock[r] = clock
+
+        procs = [ctx.Process(target=_child_main,
+                             args=(rdv, program, inputs, rank), daemon=True)
+                 for rank in range(p)]
+        for proc in procs:
+            proc.start()
+
+        results: list[Any] = [None] * p
+        errors: list[BaseException | None] = [None] * p
+        for rank in range(p):
+            state, value = _drain_result(rdv, rank, procs[rank])
+            if state == 2:
+                errors[rank] = value
+            else:
+                results[rank] = value
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - stuck child backstop
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+        real = [e for e in errors
+                if e is not None and not isinstance(e, DeadlockError)]
+        dead = [e for e in errors if isinstance(e, DeadlockError)]
+        if real:
+            raise real[0]
+        if dead:
+            raise dead[0]
+
+        stats = SimStats(
+            messages=int(arena.messages[0]),
+            words=float(arena.stat_words[0]),
+            compute_ops=float(arena.compute_ops[0]),
+            clocks=tuple(float(c) for c in arena.clock),
+        )
+        return SimResult(values=tuple(results), time=stats.makespan,
+                         stats=stats, faults=None)
+    finally:
+        arena.close()
+
+
+def simulate_program_process(program, inputs, params=None, faults=None,
+                             vectorize: bool = False) -> SimResult:
+    """Run a stage :class:`~repro.core.stages.Program` process-per-rank.
+
+    The process-backend counterpart of
+    :func:`repro.mpi.threaded.simulate_program_threaded`: every rank
+    executes the same per-stage collective algorithms; results and
+    virtual times match the cooperative engine bit for bit
+    (property-tested), while the payloads genuinely cross address spaces
+    through shared memory.  ``vectorize=True`` lowers the program to the
+    NumPy block kernels first (with the usual exact object-mode
+    fallback); packed tuple states travel as one contiguous stream.
+    """
+    from repro.machine.run import execute_stage
+
+    if params is None:
+        params = MachineParams(p=len(inputs), ts=0.0, tw=0.0, m=1)
+
+    if vectorize:
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+            vectorize_block,
+            vectorize_program,
+        )
+
+        try:
+            vprog = vectorize_program(program)
+            vinputs = [vectorize_block(x) for x in inputs]
+        except KernelUnsupported:
+            vprog = None
+        if vprog is not None:
+            try:
+                result = simulate_program_process(vprog, vinputs, params,
+                                                  faults=faults)
+            except KernelFallback:
+                pass  # e.g. int64 overflow: replay exactly in object mode
+            else:
+                return dataclasses.replace(
+                    result,
+                    values=tuple(devectorize_block(v) for v in result.values),
+                )
+
+    def rank_program(comm, x: Any) -> Any:
+        ctx = comm._ctx
+        for stage in program.stages:
+            x = ctx.drive(execute_stage(ctx, stage, x))
+        return x
+
+    return process_spmd_run(rank_program, inputs, params, faults=faults)

@@ -12,7 +12,10 @@ One generated program is executed on every available substrate:
   MPI module (:func:`repro.codegen.simulated_backend.run_generated`);
 * ``vectorized`` — the NumPy block-kernel evaluator
   (:func:`repro.kernels.run_vectorized`), which lowers blocks to arrays
-  and operators to whole-block kernels.
+  and operators to whole-block kernels;
+* ``process``    — the process-per-rank shared-memory backend
+  (:func:`repro.parallel.simulate_program_process`), which moves every
+  payload across real address-space boundaries.
 
 All outputs must agree modulo undefined blocks (:func:`defined_equal`).
 The codegen backend normalizes mpi4py's ``None``-off-root convention to
@@ -21,7 +24,10 @@ express — balanced collectives, iter stages, unregistered operators.
 The vectorized backend is likewise skipped for domains without an array
 representation (list concatenation, segmented pairs); integer overflow
 is *not* a skip — the kernels detect it and replay in exact object mode,
-and the oracle checks the result like any other.
+and the oracle checks the result like any other.  The process backend is
+skipped where real rank processes cannot run (no ``fork``/shared
+memory) — on such platforms it would silently degrade to the threaded
+engine, which is already a separate backend here.
 
 On disagreement, :func:`shrink_counterexample` greedily minimizes the
 failing case: drop stages, halve the machine, simplify block values —
@@ -53,7 +59,7 @@ __all__ = [
 ]
 
 BACKENDS: tuple[str, ...] = (
-    "functional", "machine", "threaded", "codegen", "vectorized"
+    "functional", "machine", "threaded", "codegen", "vectorized", "process"
 )
 
 #: sentinel for "this backend cannot express the program" (not a failure)
@@ -87,6 +93,12 @@ def run_backend(name: str, gp: GeneratedProgram, xs: Sequence[Any],
             return run_vectorized(program, list(xs), strict=True)
         except KernelUnsupported:
             return SKIPPED
+    if name == "process":
+        from repro.parallel import process_backend_available, simulate_program_process
+
+        if not process_backend_available(len(xs)):
+            return SKIPPED
+        return list(simulate_program_process(program, list(xs), params).values)
     raise ValueError(f"unknown backend {name!r}")
 
 

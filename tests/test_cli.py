@@ -152,6 +152,18 @@ class TestBreakdownCommand:
     def test_breakdown_bad_file(self, capsys):
         assert main(["breakdown", "/no/such/file"]) == 1
 
+    @pytest.mark.parametrize("engine", ["threaded", "process"])
+    def test_breakdown_engine_cross_check(self, capsys, example_file, engine):
+        code, out = run_cli(capsys, "breakdown", example_file,
+                            "--p", "4", "--engine", engine)
+        assert code == 0
+        assert f"{engine} engine total" in out
+        assert "agrees with the cooperative engine" in out
+
+    def test_breakdown_rejects_unknown_engine(self, example_file):
+        with pytest.raises(SystemExit):
+            main(["breakdown", example_file, "--engine", "warp"])
+
 
 class TestReportCommand:
     def test_report_stdout(self, capsys, example_file):

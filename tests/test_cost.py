@@ -219,3 +219,58 @@ class TestStageCosts:
         params = MachineParams(p=1, ts=100, tw=10, m=8)
         assert stage_cost(BcastStage(), params) == 0
         assert stage_cost(ScanStage(ADD), params) == 0
+
+
+class TestPipelinedTransfer:
+    """The Lowery & Langou chunked-transfer crossover (arXiv:1310.4645)."""
+
+    def test_cost_formula_literal(self):
+        from repro.core.cost import pipelined_transfer_cost
+
+        params = MachineParams(p=2, ts=10.0, tw=2.0)
+        # (n + depth - 1) * (ts + (m/n) tw), n=4, depth=2, m=100
+        assert pipelined_transfer_cost(params, 100.0, chunks=4, depth=2) \
+            == pytest.approx(5 * (10.0 + 25.0 * 2.0))
+
+    def test_one_chunk_recovers_flat_cost(self):
+        from repro.core.cost import pipelined_transfer_cost
+
+        params = MachineParams(p=2, ts=10.0, tw=2.0)
+        assert pipelined_transfer_cost(params, 64.0, chunks=1, depth=1) \
+            == pytest.approx(10.0 + 64.0 * 2.0)
+
+    def test_invalid_arguments_rejected(self):
+        from repro.core.cost import pipelined_transfer_cost
+
+        params = MachineParams(p=2, ts=1.0, tw=1.0)
+        with pytest.raises(ValueError):
+            pipelined_transfer_cost(params, 8.0, chunks=0)
+        with pytest.raises(ValueError):
+            pipelined_transfer_cost(params, 8.0, chunks=1, depth=0)
+
+    def test_chunk_count_near_analytic_optimum(self):
+        from repro.core.cost import pipeline_chunk_count, pipelined_transfer_cost
+
+        params = MachineParams(p=2, ts=600.0, tw=2.0)
+        words = 1 << 16
+        n = pipeline_chunk_count(params, words, depth=2)
+        # sqrt((depth-1) m tw / ts) = sqrt(65536*2/600) ~ 14.8
+        assert 13 <= n <= 16
+        best = pipelined_transfer_cost(params, words, n, depth=2)
+        for cand in (n - 1, n + 1):
+            assert best <= pipelined_transfer_cost(params, words, cand, depth=2)
+
+    def test_small_messages_never_chunk(self):
+        from repro.core.cost import pipeline_chunk_count
+
+        params = MachineParams(p=2, ts=600.0, tw=2.0)
+        assert pipeline_chunk_count(params, 1.0) == 1
+        assert pipeline_chunk_count(params, 100.0, depth=1) == 1
+        free = MachineParams(p=2, ts=600.0, tw=0.0)
+        assert pipeline_chunk_count(free, 1 << 20) == 1  # no wire cost: no win
+
+    def test_zero_startup_chunks_maximally(self):
+        from repro.core.cost import pipeline_chunk_count
+
+        params = MachineParams(p=2, ts=0.0, tw=2.0)
+        assert pipeline_chunk_count(params, 64.0) == 64

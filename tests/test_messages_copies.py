@@ -1,0 +1,147 @@
+"""Copy discipline of the message-packing layer (repro.kernels.messages).
+
+The contract the module docstring states, pinned as regression tests:
+
+* contiguous single-array payloads pass through the threaded transport as
+  the *same object* — no ``np.copy``, no repack;
+* unpacking is lazy and cached — views are built once, share memory with
+  the packed buffer, and repeated unpacks return the identical tuple;
+* repacking a tuple that came out of ``unpack_block`` (butterfly
+  forwarding of a received state) reuses the original buffer — zero-copy,
+  no ``np.stack``;
+* packing a scattered tuple still pays exactly one ``np.stack``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import MachineParams
+from repro.core.operators import BinOp
+from repro.kernels.messages import PackedBlock, pack_block, unpack_block
+from repro.mpi.threaded import threaded_spmd_run
+
+
+class TestLazyViews:
+    def test_unpack_is_lazy_and_cached(self):
+        packed = PackedBlock(np.arange(12.0).reshape(3, 4))
+        assert packed._views is None  # nothing materialized yet
+        first = packed.unpack()
+        assert packed.unpack() is first  # cached, not rebuilt
+
+    def test_views_share_memory_with_buffer(self):
+        packed = PackedBlock(np.arange(12.0).reshape(3, 4))
+        for i, view in enumerate(packed.unpack()):
+            assert np.shares_memory(view, packed.buffer)
+            assert np.array_equal(view, packed.buffer[i])
+
+    def test_unpack_block_matches_method(self):
+        packed = PackedBlock(np.arange(6).reshape(2, 3))
+        assert unpack_block(packed) is packed.unpack()
+
+
+class TestZeroCopyRepack:
+    def test_forwarded_state_reuses_buffer(self):
+        original = pack_block((np.arange(4.0), np.arange(4.0) * 2))
+        forwarded = pack_block(original.unpack())
+        assert forwarded.buffer is original.buffer  # no np.stack, no copy
+
+    def test_forwarded_state_keeps_cached_views(self):
+        original = pack_block((np.arange(4.0), np.arange(4.0) * 2))
+        views = original.unpack()
+        forwarded = pack_block(views)
+        assert forwarded.unpack() is views
+
+    def test_scattered_tuple_pays_one_stack(self, monkeypatch):
+        import repro.kernels.messages as messages
+
+        calls = []
+        real_stack = np.stack
+
+        def spy(arrays, *a, **kw):
+            calls.append(1)
+            return real_stack(arrays, *a, **kw)
+
+        monkeypatch.setattr(messages.np, "stack", spy)
+        pack_block((np.arange(4.0), np.arange(4.0) * 2))  # scattered
+        assert len(calls) == 1
+
+    def test_repack_does_not_stack(self, monkeypatch):
+        import repro.kernels.messages as messages
+
+        original = pack_block((np.arange(4.0), np.arange(4.0) * 2))
+        views = original.unpack()
+        monkeypatch.setattr(messages.np, "stack",
+                            lambda *a, **kw: pytest.fail("np.stack called "
+                                                         "on a repack"))
+        pack_block(views)
+
+    def test_mismatched_views_still_stack(self):
+        # reversed component order is NOT the consecutive-views layout
+        original = pack_block((np.arange(4.0), np.arange(4.0) * 2))
+        a, b = original.unpack()
+        repacked = pack_block((b, a))
+        assert repacked.buffer is not original.buffer
+        assert np.array_equal(repacked.unpack()[0], b)
+
+    def test_foreign_views_of_other_base_still_stack(self):
+        base = np.arange(12.0).reshape(3, 4)
+        # rows 1 and 2 of a 3-row base: consecutive but wrong base shape
+        repacked = pack_block((base[1], base[2]))
+        assert repacked.buffer is not base
+        assert np.array_equal(repacked.buffer[0], base[1])
+
+
+class TestTransportPassThrough:
+    def test_single_array_payload_same_object_no_copy(self, monkeypatch):
+        """Contiguous single-array sends cross the threaded transport
+        without any intermediate ``np.copy`` and arrive as the same object."""
+        import repro.kernels.messages as messages
+
+        monkeypatch.setattr(
+            messages.np, "copy",
+            lambda *a, **kw: pytest.fail("np.copy in the packing layer"))
+        monkeypatch.setattr(
+            messages.np, "stack",
+            lambda *a, **kw: pytest.fail("single arrays must not pack"))
+
+        payload = np.arange(100, dtype=np.int64)
+        received = {}
+
+        def program(comm, x):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, words=100)
+                return None
+            got = comm.recv(0)
+            received["obj"] = got
+            return got
+
+        result = threaded_spmd_run(program, [None, None],
+                                   MachineParams(p=2, ts=1, tw=0, m=1))
+        assert received["obj"] is payload  # same object end to end
+        assert result.values[1] is payload
+
+    def test_object_mode_payloads_untouched(self):
+        def program(comm, x):
+            return comm.allgather(x)
+
+        values = [(1, 2), "s", None, 4.5]
+        result = threaded_spmd_run(program, values,
+                                   MachineParams(p=4, ts=1, tw=0, m=1))
+        assert all(tuple(v) == tuple(values) for v in result.values)
+
+    def test_tuple_state_roundtrip_values(self):
+        pair = BinOp("pair", lambda a, b: (a[0] + b[0], a[1] + b[1]),
+                     commutative=True)
+
+        def program(comm, x):
+            return comm.allreduce(x, op=pair)
+
+        inputs = [(np.full(8, float(r)), np.full(8, 1.0)) for r in range(4)]
+        result = threaded_spmd_run(program, inputs,
+                                   MachineParams(p=4, ts=1, tw=0, m=1))
+        want0 = np.full(8, 0.0 + 1 + 2 + 3)
+        for v0, v1 in result.values:
+            assert np.array_equal(v0, want0)
+            assert np.array_equal(v1, np.full(8, 4.0))
