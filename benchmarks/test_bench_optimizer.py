@@ -4,19 +4,30 @@ On the composed Example;Next_Example pipeline both strategies are run
 across machine profiles; exhaustive search must never lose to greedy on
 final cost, and the wall-clock price of exhaustiveness is benchmarked.
 Also reproduces the SS2-Scan §4.2 crossover as an end-to-end optimizer
-decision sweep.
+decision sweep, and measures the plan cache's serving economics (cold
+beam search vs. warm trace replay, hit rate over a mixed workload) into
+``BENCH_plancache.json``.
 """
 
 from __future__ import annotations
 
+import statistics
+import time
+
 import pytest
 
-from conftest import emit
+from conftest import emit, emit_json
 from repro.apps import build_composed_pipeline
 from repro.core.cost import MachineParams
-from repro.core.operators import ADD, MUL
-from repro.core.optimizer import exhaustive_optimize, greedy_optimize
-from repro.core.stages import Program, ScanStage
+from repro.core.operators import ADD, MAX, MIN, MUL
+from repro.core.optimizer import (
+    clear_planner_caches,
+    exhaustive_optimize,
+    greedy_optimize,
+    optimize,
+)
+from repro.core.plancache import PlanCache
+from repro.core.stages import BcastStage, Program, ReduceStage, ScanStage
 
 MACHINES = {
     "low-latency": MachineParams(p=16, ts=5.0, tw=0.1, m=1024),
@@ -72,3 +83,101 @@ def test_ss2_crossover_sweep(benchmark):
         lines.append(f"{ts:>8} {'yes' if applied else 'no':>20}")
         assert applied == (ts > 2 * m), f"wrong decision at ts={ts}"
     emit("ss2_crossover", lines)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: cold search vs. warm replay, hit rate over a mixed workload
+# ---------------------------------------------------------------------------
+
+#: the repeated program shapes a serving front end would see — the long
+#: scan chains are where planning is expensive (large rewrite graphs) and
+#: therefore where the cache earns its keep
+WORKLOAD_SHAPES = {
+    "composed": build_composed_pipeline,
+    "scan-chain-8": lambda: Program(
+        [BcastStage(), ScanStage(ADD), ScanStage(ADD), ScanStage(MAX),
+         ScanStage(ADD), ScanStage(MIN), ScanStage(ADD), ScanStage(MAX)]),
+    "scan-chain-6": lambda: Program(
+        [BcastStage(), ScanStage(MUL), ScanStage(ADD), ScanStage(ADD),
+         ScanStage(MAX), ReduceStage(ADD)]),
+    "bcast-scan-chain": lambda: Program(
+        [BcastStage(), ScanStage(ADD), ScanStage(ADD), ScanStage(MAX)]),
+    "scan-scan": lambda: Program([ScanStage(MUL), ScanStage(ADD)]),
+}
+
+COLD_REPEATS = 5
+WARM_REPEATS = 50
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def test_plancache_cold_vs_warm(benchmark, tmp_path):
+    """Warm ``optimize(cache=...)`` must be ≥10× faster than cold planning."""
+    params = MACHINES["parsytec"]
+    cache = PlanCache(path=tmp_path / "plans.json")
+    series = []
+    for label, build in WORKLOAD_SHAPES.items():
+        prog = build()
+
+        def cold(prog=prog):
+            # a cold request sees no planner state at all: drop the match
+            # LRU too, or cached rule scans would flatter the cold numbers
+            clear_planner_caches()
+            return optimize(prog, params, strategy="beam")
+
+        cold_s = _median_seconds(cold, COLD_REPEATS)
+        optimize(prog, params, strategy="beam", cache=cache)  # prime
+        warm_s = _median_seconds(
+            lambda prog=prog: optimize(prog, params, strategy="beam",
+                                       cache=cache),
+            WARM_REPEATS)
+        series.append({
+            "shape": label,
+            "stages": len(prog.stages),
+            "cold_median_s": cold_s,
+            "warm_median_s": warm_s,
+            "speedup": cold_s / warm_s if warm_s else float("inf"),
+        })
+
+    cold_total = sum(row["cold_median_s"] for row in series)
+    warm_total = sum(row["warm_median_s"] for row in series)
+    overall = cold_total / warm_total if warm_total else float("inf")
+
+    # -- hit rate over a mixed stream of repeated shapes --------------------
+    stream_cache = PlanCache()
+    requests = 120
+    shapes = [build() for build in WORKLOAD_SHAPES.values()]
+    for i in range(requests):
+        optimize(shapes[i % len(shapes)], params, strategy="beam",
+                 cache=stream_cache)
+    stats = stream_cache.stats()
+    expected_hits = requests - len(shapes)
+
+    # pytest-benchmark tracks the representative warm-serve kernel
+    prog0 = next(iter(WORKLOAD_SHAPES.values()))()
+    benchmark(lambda: optimize(prog0, params, strategy="beam", cache=cache))
+
+    emit_json("plancache", {
+        "machine": {"p": params.p, "ts": params.ts, "tw": params.tw,
+                    "m": params.m},
+        "series": series,
+        "overall_speedup": overall,
+        "workload": {
+            "requests": requests,
+            "unique_shapes": len(shapes),
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "hit_rate": stats["hit_rate"],
+        },
+    })
+    assert stats["hits"] == expected_hits
+    assert stats["misses"] == len(shapes)
+    assert overall >= 10.0, (
+        f"warm serving only {overall:.1f}x faster than cold planning")

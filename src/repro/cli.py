@@ -25,9 +25,16 @@ Subcommands
     Optimize a program and emit a runnable mpi4py script.
 ``conformance``
     Randomized multi-backend conformance run: differential testing of
-    all execution backends, rule-soundness and cost-monotonicity checks
-    (see ``docs/TESTING.md``).  With ``--chaos``, replay generated
-    programs under sampled fault plans instead (see ``docs/FAULTS.md``).
+    all execution backends, rule-soundness, cost-monotonicity and
+    planner-agreement checks (see ``docs/TESTING.md``).  With
+    ``--chaos``, replay generated programs under sampled fault plans
+    instead (see ``docs/FAULTS.md``).
+``plan ACTION [FILE]``
+    The persistent plan cache: ``optimize`` plans a program (serving
+    from the cache when the shape is known), ``lookup`` replays a
+    cached plan without planning on a miss, ``stats`` prints the
+    hit/miss counters, ``clear`` empties the store (default store:
+    ``.repro-plancache.json``).
 ``faults demo``
     Deterministic walkthrough of the fault-injection layer: retry
     recovery, dead-link timeouts, crash degradation, engine agreement.
@@ -104,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt = subs.add_parser("optimize", help="optimize an MPI-like program file")
     p_opt.add_argument("file", help="program file (repro.lang syntax), or - for stdin")
     _add_machine_args(p_opt)
-    p_opt.add_argument("--strategy", choices=("exhaustive", "greedy"),
+    p_opt.add_argument("--strategy", choices=("exhaustive", "greedy", "beam"),
                        default="exhaustive")
     p_opt.add_argument("--extensions", action="store_true",
                        help="enable the extension rules (RB-Allreduce, ...)")
@@ -181,6 +188,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --chaos: run every faulted case under the "
                            "checkpoint/restart supervisor and check the "
                            "recovery contract (see docs/FAULTS.md)")
+
+    p_pl = subs.add_parser(
+        "plan",
+        help="beam-planner plan cache (optimize/lookup/stats/clear)")
+    p_pl.add_argument("action", choices=("optimize", "lookup", "stats",
+                                         "clear"),
+                      help="'optimize': plan a program through the cache; "
+                           "'lookup': replay a cached plan without planning "
+                           "on a miss; 'stats': print cache counters; "
+                           "'clear': empty the store")
+    p_pl.add_argument("file", nargs="?", default=None,
+                      help="program file (repro.lang syntax), or - for "
+                           "stdin; required for optimize/lookup")
+    p_pl.add_argument("--store", default=".repro-plancache.json",
+                      metavar="PATH",
+                      help="on-disk plan store "
+                           "(default .repro-plancache.json)")
+    _add_machine_args(p_pl)
+    p_pl.add_argument("--strategy",
+                      choices=("beam", "exhaustive", "greedy"),
+                      default="beam",
+                      help="planner tier on a miss (default beam)")
+    p_pl.add_argument("--width", type=int, default=8,
+                      help="beam width (default 8)")
+    p_pl.add_argument("--extensions", action="store_true",
+                      help="enable the extension rules")
+    p_pl.add_argument("--modulus", type=int, default=None)
 
     p_fl = subs.add_parser("faults",
                            help="fault-injection layer utilities")
@@ -379,6 +413,67 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.plancache import PlanCache
+
+    cache = PlanCache(path=args.store)
+    if args.action == "stats":
+        print(cache.describe())
+        return 0
+    if args.action == "clear":
+        n = len(cache)
+        cache.clear(disk=True)
+        print(f"cleared {n} plan(s) from {args.store}")
+        return 0
+
+    if args.file is None:
+        print(f"error: 'plan {args.action}' needs a program file",
+              file=sys.stderr)
+        return 2
+    try:
+        program = _load_program(args)
+    except (ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    params = _machine(args)
+    rules = FULL_RULES if args.extensions else ALL_RULES
+
+    if args.action == "lookup":
+        hit = cache.get(program, params, rules=rules, strategy=args.strategy)
+        if hit is None:
+            print("miss: no cached plan for this program/machine/strategy")
+            print(cache.describe())
+            return 1
+        print("hit: replayed cached plan")
+        print(hit.report())
+        print()
+        print(to_mpi_text(hit.program))
+        return 0
+
+    # optimize: serve from cache, plan on a miss, write the plan through
+    result = cache.get(program, params, rules=rules, strategy=args.strategy)
+    if result is not None:
+        print("served from cache")
+    else:
+        if args.strategy == "beam":
+            from repro.core.planner import beam_optimize
+
+            result = beam_optimize(program, params, rules, width=args.width)
+        else:
+            result = optimize(program, params, rules=rules,
+                              strategy=args.strategy)
+        cache.put(program, params, result, rules=rules,
+                  strategy=args.strategy)
+        print("planned and cached")
+    print(result.report())
+    print()
+    print("optimized program:")
+    print(to_mpi_text(result.program))
+    print()
+    print(cache.describe())
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.demo import run_demo
 
@@ -435,6 +530,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_figures(args)
     if args.command == "conformance":
         return _cmd_conformance(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "recover":

@@ -29,7 +29,8 @@ from repro.core.rules import ALL_RULES, Rule, RuleApplication
 from repro.core.stages import Program
 
 __all__ = ["OptimizationResult", "optimize", "greedy_optimize",
-           "exhaustive_optimize", "clear_match_cache"]
+           "exhaustive_optimize", "clear_match_cache",
+           "clear_planner_caches", "register_planner_cache_reset"]
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,31 @@ _MATCH_CACHE_MAX = 4096
 def clear_match_cache() -> None:
     """Drop every memoized match scan (tests; rule-registry mutation)."""
     _MATCH_CACHE.clear()
+
+
+# Plan caches (repro.core.plancache) register a reset hook here at import
+# time, so this module never has to import them (no cycle) but
+# clear_planner_caches() can still reach every live cache.
+_PLANNER_CACHE_RESETS: list = []
+
+
+def register_planner_cache_reset(reset) -> None:
+    """Register a callable that drops one planner cache's in-memory state."""
+    if reset not in _PLANNER_CACHE_RESETS:
+        _PLANNER_CACHE_RESETS.append(reset)
+
+
+def clear_planner_caches() -> None:
+    """Reset *all* planner state: the match LRU and every live plan cache.
+
+    ``clear_match_cache()`` alone only empties the rule-match LRU; plan
+    caches (:class:`repro.core.plancache.PlanCache`) keep replayable
+    traces and hit/miss counters in memory, which idempotence-style
+    tests must not leak between cases.  This clears both.
+    """
+    clear_match_cache()
+    for reset in list(_PLANNER_CACHE_RESETS):
+        reset()
 
 
 def _rules_key(rules: Sequence[Rule]) -> tuple:
@@ -217,14 +243,38 @@ def optimize(
     rules: Iterable[Rule] = ALL_RULES,
     strategy: str = "exhaustive",
     allow_lossy: bool = False,
+    cache=None,
 ) -> OptimizationResult:
     """Optimize ``program`` for the machine described by ``params``.
 
-    ``strategy`` is ``"exhaustive"`` (exact; default) or ``"greedy"``
-    (steepest descent; the ablation benchmark compares both).
+    ``strategy`` is ``"exhaustive"`` (exact; default), ``"greedy"``
+    (steepest descent; the ablation benchmark compares both), or
+    ``"beam"`` (the serving tier: bounded search that is never worse
+    than greedy — see :func:`repro.core.planner.beam_optimize`).
+
+    ``cache`` is an optional plan cache
+    (:class:`repro.core.plancache.PlanCache` or anything with its
+    ``get``/``put`` protocol).  A hit replays the stored rule trace
+    against ``program`` and skips the search entirely; a miss runs the
+    search and writes the plan through.
     """
+    if cache is not None:
+        hit = cache.get(program, params, rules=rules, strategy=strategy,
+                        allow_lossy=allow_lossy)
+        if hit is not None:
+            return hit
     if strategy == "exhaustive":
-        return exhaustive_optimize(program, params, rules, allow_lossy)
-    if strategy == "greedy":
-        return greedy_optimize(program, params, rules, allow_lossy)
-    raise ValueError(f"unknown strategy {strategy!r}")
+        result = exhaustive_optimize(program, params, rules, allow_lossy)
+    elif strategy == "greedy":
+        result = greedy_optimize(program, params, rules, allow_lossy)
+    elif strategy == "beam":
+        from repro.core.planner import beam_optimize
+
+        result = beam_optimize(program, params, rules,
+                               allow_lossy=allow_lossy)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if cache is not None:
+        cache.put(program, params, result, rules=rules, strategy=strategy,
+                  allow_lossy=allow_lossy)
+    return result

@@ -1,0 +1,369 @@
+"""Beam-search planner tier and canonical plan signatures.
+
+The optimizer offers two extremes: greedy steepest descent (cheap, but
+myopic — it refuses cost-neutral setup moves and can fire an improving
+rule that destroys the window of a better fusion) and exhaustive
+Dijkstra search (exact, but too expensive to serve per request).  This
+module adds the middle tier plus the identities a *servable* planner
+needs:
+
+* :func:`beam_optimize` — bounded beam search over the rewrite graph,
+  scored by :func:`~repro.core.cost.program_cost`.  The search crosses
+  cost-neutral and cost-increasing intermediates (the SS2-Scan setup
+  moves), so it closes most of the greedy-vs-exact gap; the greedy plan
+  is always computed first as the incumbent, so the returned plan is
+  **never costlier than greedy**.  When the beam never had to prune
+  (``complete``), it visited the whole reachable rewrite graph and the
+  plan is exactly optimal — the planner-agreement conformance check
+  exploits this as a machine-checkable bound.
+
+* :func:`plan_signature` — a canonical program signature: stage
+  structure and operator identities only, independent of map labels
+  (the "variable names" of the stage DSL) and of captured constants.
+  Two programs with the same signature have identical rule-match sets
+  and identical model costs, so one plan serves both.
+
+* :func:`replay_trace` — re-apply a recorded rule trace step by step.
+  Every returned plan replays to the returned program; the plan cache
+  (:mod:`repro.core.plancache`) stores *traces*, not programs, and
+  replays them against the request's own program on a hit.
+
+Termination needs no fuel: every rule in the catalogue strictly reduces
+the number of collective stages, so derivations are at most
+``collective_count`` steps long and the reachable graph is finite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cost import MachineParams, program_cost
+from repro.core.operators import BinOp
+from repro.core.optimizer import (
+    OptimizationResult,
+    _cached_matches,
+    _usable,
+    greedy_optimize,
+)
+from repro.core.rewrite import Derivation, apply_match, find_matches
+from repro.core.rules import ALL_RULES, Rule, RuleApplication, rule_by_name
+from repro.core.stages import (
+    AllGatherStage,
+    AllReduceStage,
+    BalancedReduceStage,
+    BalancedScanStage,
+    BcastStage,
+    ComcastStage,
+    GatherStage,
+    IterStage,
+    Map2Stage,
+    MapIndexedStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    ScatterStage,
+    Stage,
+)
+
+__all__ = [
+    "BeamResult",
+    "beam_optimize",
+    "plan_signature",
+    "op_signature",
+    "params_signature",
+    "rules_signature",
+    "cache_key",
+    "trace_of",
+    "replay_trace",
+    "PlanReplayError",
+]
+
+
+# ---------------------------------------------------------------------------
+# Canonical signatures
+# ---------------------------------------------------------------------------
+#
+# Rule matching is purely syntactic/algebraic: it sees stage shapes and
+# operator identities (name + declared algebra), never map labels, map
+# callables, or Map2 captured constants.  The cost model additionally sees
+# ops_per_element, operator widths and op counts.  The canonical signature
+# captures exactly this observable set — nothing else — so renaming a map
+# ("map f" vs "map g" with the same per-element cost) or swapping the
+# captured coefficient list of a map2 cannot change it, while changing an
+# operator or a per-element op count must.
+
+
+def op_signature(op) -> tuple:
+    """Canonical identity of a stage operator.
+
+    For a :class:`~repro.core.operators.BinOp` this is the name plus the
+    algebraic/cost metadata rule matching and costing observe; composed
+    operators (``kind``/``parts``) recurse so structurally equal
+    compositions agree.  Derived operators (``SRTreeOp`` etc.) are
+    identified by class and name.
+    """
+    if isinstance(op, BinOp):
+        sig = ("op", op.name, op.associative, op.commutative,
+               op.op_count, op.width)
+        if op.kind:
+            return sig + (op.kind, tuple(op_signature(p) for p in op.parts))
+        return sig
+    # derived non-BinOp operators (SRTreeOp, SSButterflyOp, ComcastOp, IterOp)
+    name = getattr(op, "name", repr(op))
+    return ("derived", type(op).__name__, name)
+
+
+def _stage_token(stage: Stage) -> tuple:
+    """One stage's contribution to the canonical signature."""
+    if isinstance(stage, MapStage):
+        return ("map", stage.ops_per_element)
+    if isinstance(stage, MapIndexedStage):
+        return ("map#", stage.ops_per_element)
+    if isinstance(stage, Map2Stage):
+        return ("map2", stage.indexed, stage.ops_per_element)
+    if isinstance(stage, ScanStage):
+        return ("scan", op_signature(stage.op))
+    if isinstance(stage, AllReduceStage):  # before ReduceStage: not a subclass,
+        return ("allreduce", op_signature(stage.op))  # but keep kinds distinct
+    if isinstance(stage, ReduceStage):
+        return ("reduce", op_signature(stage.op))
+    if isinstance(stage, BcastStage):
+        return ("bcast",)
+    if isinstance(stage, AllGatherStage):
+        return ("allgather", stage.width)
+    if isinstance(stage, ScatterStage):
+        return ("scatter", stage.width)
+    if isinstance(stage, GatherStage):
+        return ("gather", stage.width)
+    if isinstance(stage, BalancedReduceStage):
+        return ("reduce_balanced", stage.to_all, op_signature(stage.tree_op))
+    if isinstance(stage, BalancedScanStage):
+        return ("scan_balanced", op_signature(stage.bfly_op))
+    if isinstance(stage, ComcastStage):
+        return ("comcast", stage.impl, op_signature(stage.comcast_op))
+    if isinstance(stage, IterStage):
+        return ("iter", stage.general, stage.then_bcast,
+                op_signature(stage.iter_op))
+    # unknown stage kinds fall back to their pretty form (still deterministic)
+    return ("stage", type(stage).__name__, stage.pretty())
+
+
+def plan_signature(program: Program) -> tuple[tuple, ...]:
+    """Canonical signature of ``program`` (see module docstring)."""
+    return tuple(_stage_token(s) for s in program.stages)
+
+
+def params_signature(params: MachineParams) -> tuple:
+    """Canonical identity of the machine parameters (subclass-aware).
+
+    Dataclass fields are emitted sorted by name, so two parameter objects
+    that differ only in construction order (commutative metadata) agree.
+    """
+    import dataclasses
+
+    fields = {}
+    for f in dataclasses.fields(params):
+        value = getattr(params, f.name)
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            fields[f.name] = value
+        else:  # nested structures: deterministic repr
+            fields[f.name] = repr(value)
+    return (type(params).__qualname__,) + tuple(sorted(fields.items()))
+
+
+def rules_signature(rules: Iterable[Rule]) -> tuple[str, ...]:
+    """Order-insensitive identity of a rule set.
+
+    The rule *set* determines which plans exist; its iteration order is
+    commutative metadata (it only breaks cost ties), so reordering must
+    not change a cache key.
+    """
+    return tuple(sorted(rule.name for rule in rules))
+
+
+def cache_key(program: Program, params: MachineParams,
+              rules: Iterable[Rule] = ALL_RULES, strategy: str = "beam",
+              allow_lossy: bool = False) -> str:
+    """Stable hex digest keying a plan-cache entry."""
+    doc = {
+        "signature": plan_signature(program),
+        "params": params_signature(params),
+        "rules": rules_signature(rules),
+        "strategy": strategy,
+        "allow_lossy": allow_lossy,
+    }
+    blob = json.dumps(doc, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Trace replay
+# ---------------------------------------------------------------------------
+
+
+class PlanReplayError(ValueError):
+    """A recorded plan no longer applies to the program it is replayed on."""
+
+
+def trace_of(result: OptimizationResult) -> tuple[tuple[str, int], ...]:
+    """The replayable ``(rule name, stage index)`` trace of a result."""
+    return tuple((step.rule.name, step.start)
+                 for step in result.derivation.steps)
+
+
+def replay_trace(
+    program: Program,
+    trace: Sequence[tuple[str, int]],
+    p: int | None = None,
+    allow_lossy: bool = False,
+) -> tuple[Program, tuple[RuleApplication, ...]]:
+    """Re-apply a recorded trace step by step.
+
+    Every step re-checks the rule's match through
+    :func:`~repro.core.rewrite.find_matches`, so a stale plan (wrong
+    program shape, violated side condition, unsafe lossy site) raises
+    :class:`PlanReplayError` instead of silently producing a wrong
+    program — the plan cache turns that into a miss.
+    """
+    current = program
+    steps: list[RuleApplication] = []
+    for rule_name, start in trace:
+        try:
+            rule = rule_by_name(str(rule_name))
+        except KeyError as exc:
+            raise PlanReplayError(str(exc)) from exc
+        site = next((m for m in find_matches(current, (rule,), p=p)
+                     if m.start == start), None)
+        if site is None:
+            raise PlanReplayError(
+                f"{rule.name} no longer matches at stage {start} of "
+                f"{current.pretty()!r}")
+        if not _usable(site, allow_lossy):
+            raise PlanReplayError(
+                f"{rule.name} at stage {start} is unsafe without allow_lossy")
+        current, step = apply_match(current, site, p=p,
+                                    force_unsafe=allow_lossy)
+        steps.append(step)
+    return current, tuple(steps)
+
+
+# ---------------------------------------------------------------------------
+# Beam search
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeamResult(OptimizationResult):
+    """A beam plan plus the search's self-reported optimality evidence."""
+
+    width: int = 0
+    #: candidate programs cut by the width bound (0 ⇒ the search was
+    #: effectively exhaustive over the reachable graph)
+    pruned: int = 0
+    levels: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Did the beam visit the entire reachable rewrite graph?"""
+        return self.pruned == 0
+
+    def suboptimality_bound(self) -> float:
+        """An upper bound on ``cost_after - optimal_cost``.
+
+        ``0.0`` when the search was complete (no candidate was ever
+        pruned, so every reachable program was scored); ``inf`` when the
+        width bound actually cut candidates — beam search makes no
+        quality promise past that point beyond *never worse than greedy*.
+        """
+        return 0.0 if self.complete else float("inf")
+
+
+def beam_optimize(
+    program: Program,
+    params: MachineParams,
+    rules: Iterable[Rule] = ALL_RULES,
+    width: int = 8,
+    allow_lossy: bool = False,
+) -> BeamResult:
+    """Beam search over the rewrite graph, never worse than greedy.
+
+    Level ``k`` of the search holds (at most) the ``width`` cheapest
+    ``k``-step rewrites of ``program``; *every* generated candidate is
+    scored and tracked as a potential answer before the cut, so pruning
+    narrows what gets expanded further but never drops an already-found
+    improvement.  Unlike greedy steepest descent, frontier survival does
+    not require improving on the parent — the beam walks through the
+    cost-neutral/increasing setup moves (e.g. SS2-Scan's ``map pair``
+    adjustment at unfavourable ``ts``) that a later fusion pays back.
+
+    The greedy plan is computed first (same match cache) and used as the
+    incumbent: the final answer is whichever of {greedy, best beam node}
+    is cheaper, so ``beam.cost_after <= greedy.cost_after`` holds on
+    every input.  With ``pruned == 0`` the search visited the whole
+    reachable graph and the result is exactly optimal.
+    """
+    if width < 1:
+        raise ValueError("beam width must be at least 1")
+    rules = tuple(rules)
+    incumbent = greedy_optimize(program, params, rules,
+                                allow_lossy=allow_lossy)
+    start_cost = incumbent.cost_before
+
+    sig0 = plan_signature(program)
+    seen: set[tuple] = {sig0}
+    frontier: list[tuple[float, Program, tuple[RuleApplication, ...]]] = [
+        (start_cost, program, ())
+    ]
+    best_cost, best_prog, best_steps = start_cost, program, ()
+    explored = 1
+    pruned = 0
+    levels = 0
+
+    while frontier:
+        candidates: list[tuple[float, Program, tuple[RuleApplication, ...]]] = []
+        for _cost, prog, steps in frontier:
+            for match in _cached_matches(prog, rules):
+                if not _usable(match, allow_lossy):
+                    continue
+                nxt, step = apply_match(prog, match, p=params.p,
+                                        force_unsafe=allow_lossy)
+                sig = plan_signature(nxt)
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                explored += 1
+                candidates.append((program_cost(nxt, params), nxt,
+                                   steps + (step,)))
+        if not candidates:
+            break
+        levels += 1
+        for cost, prog, steps in candidates:
+            if cost < best_cost:
+                best_cost, best_prog, best_steps = cost, prog, steps
+        candidates.sort(key=lambda t: t[0])
+        if len(candidates) > width:
+            pruned += len(candidates) - width
+            candidates = candidates[:width]
+        frontier = candidates
+
+    if best_cost < incumbent.cost_after - 1e-12:
+        derivation = Derivation(initial=program, final=best_prog,
+                                steps=best_steps)
+        cost_after = best_cost
+    else:  # greedy already found something at least as cheap — keep its trace
+        derivation = incumbent.derivation
+        cost_after = incumbent.cost_after
+    return BeamResult(
+        derivation=derivation,
+        cost_before=start_cost,
+        cost_after=cost_after,
+        params=params,
+        programs_explored=explored + incumbent.programs_explored,
+        width=width,
+        pruned=pruned,
+        levels=levels,
+    )

@@ -15,6 +15,9 @@ counterpart.  It contains
   match :func:`repro.core.rewrite.find_matches` reports) and
   cost-monotonicity (``optimize`` never returns a costlier program)
   checkers;
+* :mod:`repro.testing.planner` — the planner-agreement check (beam never
+  costlier than greedy, exhaustive never cheaper than a *complete* beam,
+  rule traces replay, plan-cache hits are bit-identical);
 * :mod:`repro.testing.conformance` — the orchestrator behind
   ``python -m repro conformance --seed N --iters K``.
 
@@ -42,12 +45,16 @@ from repro.testing.conformance import (
 )
 from repro.testing.generator import (
     DOMAINS,
+    PLANNER_CASES,
     RULE_CASES,
     GeneratedProgram,
+    PlannerCase,
     RuleCase,
     generate_from_case,
+    generate_planner_case,
     generate_random,
 )
+from repro.testing.planner import PlannerViolation, check_planner_agreement
 from repro.testing.oracle import (
     BACKENDS,
     BackendMismatch,
@@ -74,11 +81,16 @@ __all__ = [
     "ConformanceReport",
     "run_conformance",
     "DOMAINS",
+    "PLANNER_CASES",
     "RULE_CASES",
     "GeneratedProgram",
+    "PlannerCase",
     "RuleCase",
     "generate_from_case",
+    "generate_planner_case",
     "generate_random",
+    "PlannerViolation",
+    "check_planner_agreement",
     "BACKENDS",
     "BackendMismatch",
     "run_backend",

@@ -32,11 +32,14 @@ from repro.core.cost import MachineParams
 from repro.core.optimizer import optimize
 from repro.core.rules import ALL_RULES, Rule, rule_by_name
 from repro.testing.generator import (
+    PLANNER_CASES,
     RULE_CASES,
     GeneratedProgram,
     generate_from_case,
+    generate_planner_case,
     generate_random,
 )
+from repro.testing.planner import check_planner_agreement
 from repro.testing.oracle import (
     BACKENDS,
     BackendMismatch,
@@ -62,14 +65,15 @@ PAPER_RULES: tuple[str, ...] = (
     "BSS-Comcast",
 )
 
-_CYCLE = len(RULE_CASES) + 1  # every template once, then one random case
+# every rule template once, every planner trap once, then one random case
+_CYCLE = len(RULE_CASES) + len(PLANNER_CASES) + 1
 
 
 @dataclass(frozen=True)
 class CaseFailure:
     """One conformance failure, with everything needed to replay it."""
 
-    kind: str          # "coverage" | "differential" | "soundness" | "cost"
+    kind: str  # "coverage" | "differential" | "soundness" | "cost" | "planner"
     iteration: int
     case_seed: int
     base_seed: int
@@ -95,6 +99,7 @@ class ConformanceReport:
     backend_runs: int = 0
     matches_checked: int = 0
     optimizations_checked: int = 0
+    planner_checks: int = 0
     #: rule name -> {"positive": n, "negative": n}
     coverage: dict[str, dict[str, int]] = field(default_factory=dict)
     failures: list[CaseFailure] = field(default_factory=list)
@@ -122,6 +127,7 @@ class ConformanceReport:
             f"  backend runs      : {self.backend_runs}",
             f"  rewrite sites     : {self.matches_checked}",
             f"  optimizer checks  : {self.optimizations_checked}",
+            f"  planner contracts : {self.planner_checks}",
             "  rule coverage (positive/negative):",
         ]
         for rule in PAPER_RULES:
@@ -194,6 +200,8 @@ def run_conformance(
             case = RULE_CASES[slot]
             gp = generate_from_case(rng, case)
             _check_template_coverage(gp, case, report, i, case_seed)
+        elif slot < len(RULE_CASES) + len(PLANNER_CASES):
+            gp = generate_planner_case(PLANNER_CASES[slot - len(RULE_CASES)])
         else:
             gp = generate_random(rng)
         report.cases += 1
@@ -236,6 +244,15 @@ def run_conformance(
         if not cost_violations:
             _check_optimized_differential(gp, rng, rules, backends,
                                           report, i, case_seed)
+
+        # -- planner-tier agreement (beam vs greedy vs exhaustive) ---------
+        planner_violations = check_planner_agreement(gp, rng, rules)
+        report.planner_checks += 1
+        for violation in planner_violations:
+            record(CaseFailure(
+                kind="planner", iteration=i, case_seed=case_seed,
+                base_seed=seed, detail=violation.describe(),
+            ))
 
         if len(report.failures) >= max_failures:
             break

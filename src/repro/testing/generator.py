@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.core.cost import MachineParams
 from repro.core.operators import ADD, CONCAT, MAX, MIN, MUL, BinOp
 from repro.core.segmented import segmented_op
 from repro.core.stages import (
@@ -49,9 +50,12 @@ __all__ = [
     "Domain",
     "DOMAINS",
     "GeneratedProgram",
+    "PlannerCase",
+    "PLANNER_CASES",
     "RuleCase",
     "RULE_CASES",
     "generate_from_case",
+    "generate_planner_case",
     "generate_random",
 ]
 
@@ -276,6 +280,72 @@ RULE_CASES: tuple[RuleCase, ...] = (
     RuleCase("BSS-Comcast", False, "list",
              lambda: (BcastStage(), ScanStage(CONCAT), ScanStage(CONCAT))),
 )
+
+
+# ---------------------------------------------------------------------------
+# Planner cases: programs where greedy steepest descent is provably beaten
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlannerCase:
+    """A greedy trap: a program + machine where search beats steepest descent.
+
+    On these pipelines the single most cost-saving first rewrite forecloses
+    a cheaper multi-step derivation (e.g. an early SR fire inserts the
+    ``map pi_1`` projection that blocks a later whole-suffix fusion), so
+    ``greedy_optimize`` lands strictly above the beam/exhaustive optimum at
+    ``params``.  The planner property suite uses these to guarantee the
+    "beam strictly cheaper than greedy at least once" acceptance bar is a
+    *seeded certainty*, not a roll of the random generator.
+    """
+
+    name: str
+    domain_name: str
+    stages_builder: Callable[[], tuple[Stage, ...]]
+    #: the machine where the greedy-vs-search gap manifests
+    params: MachineParams
+    #: needs the extension rules (FULL_RULES) to expose the gap
+    extensions: bool = False
+
+    @property
+    def domain(self) -> Domain:
+        return _DOMAIN_BY_NAME[self.domain_name]
+
+    def describe(self) -> str:
+        pretty = " ; ".join(s.pretty() for s in self.stages_builder())
+        return f"planner-trap/{self.name}: [{pretty}]"
+
+
+#: Both traps verified by hand against the cost model at their params:
+#: greedy ends at 42.0 vs beam/exhaustive 39.0 for the bcast/scan chain
+#: (ALL_RULES), and 17.0 vs 2.0 for the scan/bcast/reduce chain once the
+#: extension rules can rewrite the whole suffix (FULL_RULES).
+PLANNER_CASES: tuple[PlannerCase, ...] = (
+    PlannerCase(
+        "bcast-scan-chain", "int",
+        lambda: (BcastStage(), ScanStage(ADD), ScanStage(ADD),
+                 ScanStage(MAX)),
+        params=MachineParams(p=4, ts=5.0, tw=0.5, m=1),
+    ),
+    PlannerCase(
+        "scan-bcast-reduce", "int",
+        lambda: (ScanStage(ADD), BcastStage(), ReduceStage(ADD)),
+        params=MachineParams(p=4, ts=5.0, tw=0.5, m=1),
+        extensions=True,
+    ),
+)
+
+
+def generate_planner_case(case: PlannerCase) -> GeneratedProgram:
+    """Materialize a planner trap as a runnable :class:`GeneratedProgram`."""
+    domain = case.domain
+    stages = list(case.stages_builder())
+    assert _valid(stages), f"invalid planner case {case.name}"
+    program = Program(stages, name=f"planner-{case.name}")
+    return GeneratedProgram(program=program, domain=domain,
+                            functions=_functions_of(domain),
+                            note=case.describe())
 
 
 def generate_from_case(rng: random.Random, case: RuleCase,

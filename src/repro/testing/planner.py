@@ -1,0 +1,152 @@
+"""Planner-agreement conformance check (the planner tier's oracle).
+
+The three planner tiers form a quality ladder the conformance harness can
+check mechanically on every generated program:
+
+* ``beam_cost <= greedy_cost`` — beam search seeds greedy as its
+  incumbent, so it must never return a costlier plan;
+* ``exhaustive_cost <= beam_cost`` — Dijkstra is exact, so beating it
+  would mean the beam's cost ledger lies (checked on small programs,
+  where exhaustive search is affordable);
+* a *complete* beam (never pruned) visited the whole reachable rewrite
+  graph, so its cost must **equal** the exhaustive optimum — this turns
+  the beam's self-reported ``suboptimality_bound`` into a falsifiable
+  claim;
+* the returned rule trace must replay step-by-step to the returned
+  program, and a plan-cache hit must reconstruct a bit-identical plan
+  (same program, same costs, same derivation text).
+
+Violations carry the usual seed-replay payload and surface through
+``python -m repro conformance`` as ``[planner]`` failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.cost import MachineParams
+from repro.core.optimizer import greedy_optimize, exhaustive_optimize
+from repro.core.plancache import PlanCache
+from repro.core.planner import (
+    PlanReplayError,
+    beam_optimize,
+    replay_trace,
+    trace_of,
+)
+from repro.core.rules import ALL_RULES, Rule
+from repro.testing.generator import GeneratedProgram
+from repro.testing.soundness import sample_machine_params
+
+__all__ = ["PlannerViolation", "check_planner_agreement"]
+
+_EPS = 1e-9
+
+#: exhaustive search is only consulted below this stage count
+MAX_EXHAUSTIVE_STAGES = 8
+
+
+@dataclass(frozen=True)
+class PlannerViolation:
+    """One broken planner-tier contract, with the machine it broke on."""
+
+    kind: str  # "beam-vs-greedy" | "exhaustive-vs-beam" | "replay" | "cache"
+    program_pretty: str
+    params: MachineParams
+    detail: str
+
+    def describe(self) -> str:
+        p = self.params
+        return (
+            f"planner contract {self.kind!r} violated\n"
+            f"program  : {self.program_pretty}\n"
+            f"machine  : p={p.p} ts={p.ts} tw={p.tw} m={p.m}\n"
+            f"{self.detail}"
+        )
+
+
+def _check_one(program, params, rules, width) -> list[PlannerViolation]:
+    violations: list[PlannerViolation] = []
+    greedy = greedy_optimize(program, params, rules)
+    beam = beam_optimize(program, params, rules, width=width)
+
+    if beam.cost_after > greedy.cost_after + _EPS:
+        violations.append(PlannerViolation(
+            kind="beam-vs-greedy", program_pretty=program.pretty(),
+            params=params,
+            detail=(f"beam cost {beam.cost_after} > greedy cost "
+                    f"{greedy.cost_after} (width={width})"),
+        ))
+
+    if len(program.stages) <= MAX_EXHAUSTIVE_STAGES:
+        exact = exhaustive_optimize(program, params, rules)
+        if exact.cost_after > beam.cost_after + _EPS:
+            violations.append(PlannerViolation(
+                kind="exhaustive-vs-beam", program_pretty=program.pretty(),
+                params=params,
+                detail=(f"exhaustive cost {exact.cost_after} > beam cost "
+                        f"{beam.cost_after} — the exact search regressed"),
+            ))
+        if beam.complete and beam.cost_after > exact.cost_after + _EPS:
+            violations.append(PlannerViolation(
+                kind="exhaustive-vs-beam", program_pretty=program.pretty(),
+                params=params,
+                detail=(f"beam reported a complete search (bound "
+                        f"{beam.suboptimality_bound()}) at cost "
+                        f"{beam.cost_after}, but exhaustive found "
+                        f"{exact.cost_after}"),
+            ))
+
+    # -- trace replay --------------------------------------------------------
+    try:
+        replayed, _steps = replay_trace(program, trace_of(beam), p=params.p)
+    except PlanReplayError as exc:
+        violations.append(PlannerViolation(
+            kind="replay", program_pretty=program.pretty(), params=params,
+            detail=f"beam trace does not replay: {exc}",
+        ))
+    else:
+        if replayed.pretty() != beam.program.pretty():
+            violations.append(PlannerViolation(
+                kind="replay", program_pretty=program.pretty(), params=params,
+                detail=(f"trace replays to {replayed.pretty()!r}, planner "
+                        f"returned {beam.program.pretty()!r}"),
+            ))
+
+    # -- cache hit is bit-identical -----------------------------------------
+    cache = PlanCache()
+    cache.put(program, params, beam, rules=rules, strategy="beam")
+    hit = cache.get(program, params, rules=rules, strategy="beam")
+    if hit is None:
+        violations.append(PlannerViolation(
+            kind="cache", program_pretty=program.pretty(), params=params,
+            detail="freshly stored plan missed on lookup",
+        ))
+    elif (hit.program.pretty() != beam.program.pretty()
+          or hit.cost_after != beam.cost_after
+          or hit.cost_before != beam.cost_before
+          or hit.derivation.describe() != beam.derivation.describe()):
+        violations.append(PlannerViolation(
+            kind="cache", program_pretty=program.pretty(), params=params,
+            detail=(f"cache hit differs from the stored plan: "
+                    f"{hit.program.pretty()!r} @ {hit.cost_after} vs "
+                    f"{beam.program.pretty()!r} @ {beam.cost_after}"),
+        ))
+    return violations
+
+
+def check_planner_agreement(
+    gp: GeneratedProgram,
+    rng: random.Random,
+    rules: Iterable[Rule] = ALL_RULES,
+    n_params: int = 2,
+    width: int = 4,
+) -> list[PlannerViolation]:
+    """Check every planner-tier contract on ``gp`` at sampled machines."""
+    rules = tuple(rules)
+    violations: list[PlannerViolation] = []
+    for _ in range(n_params):
+        params = sample_machine_params(rng)
+        violations.extend(_check_one(gp.program, params, rules, width))
+    return violations
