@@ -18,6 +18,10 @@ from typing import Any
 
 import numpy as np
 
+# The process-backend benches must run even on single-core CI runners
+# (set before any repro import: availability is probed at import time).
+os.environ.setdefault("REPRO_PARALLEL_FORCE", "1")
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 

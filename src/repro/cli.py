@@ -188,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --chaos: run every faulted case under the "
                            "checkpoint/restart supervisor and check the "
                            "recovery contract (see docs/FAULTS.md)")
+    p_cf.add_argument("--engine", action="append", dest="engines",
+                      choices=("machine", "threaded", "process"),
+                      metavar="ENGINE",
+                      help="with --chaos: add an engine to the comparison "
+                           "deck (repeatable; default machine+threaded; "
+                           "'machine' is always included as the reference)")
 
     p_pl = subs.add_parser(
         "plan",
@@ -226,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rc.add_argument("--log", default=None, metavar="PATH",
                       help="also write the quarantine scenario's JSON "
                            "recovery event log to PATH")
+    p_rc.add_argument("--engine",
+                      choices=("machine", "threaded", "process"),
+                      default="machine",
+                      help="execution engine for the walkthrough; 'process' "
+                           "adds a real SIGKILL/respawn scenario on forked "
+                           "workers (default machine)")
 
     return parser
 
@@ -385,16 +397,22 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         print("error: --recover requires --chaos", file=sys.stderr)
         return 2
     if args.chaos:
+        engines = ["machine"]
+        for eng in args.engines or ["threaded"]:
+            if eng not in engines:
+                engines.append(eng)
         if args.recover:
             from repro.testing import run_chaos_recovery
 
             chaos = run_chaos_recovery(seed=args.seed, iters=args.iters,
                                        plans_per_case=args.plans,
-                                       max_failures=args.max_failures)
+                                       max_failures=args.max_failures,
+                                       engines=engines)
         else:
             chaos = run_chaos(seed=args.seed, iters=args.iters, rules=rules,
                               plans_per_case=args.plans,
-                              max_failures=args.max_failures)
+                              max_failures=args.max_failures,
+                              engines=engines)
         print(chaos.describe())
         return 0 if chaos.ok else 1
     report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
@@ -484,9 +502,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.recovery.demo import demo_event_log, run_demo
 
-    print(run_demo())
+    print(run_demo(engine=args.engine))
     if args.log is not None:
-        demo_event_log().write(args.log)
+        demo_event_log(engine=args.engine).write(args.log)
         print(f"wrote recovery event log to {args.log}")
     return 0
 

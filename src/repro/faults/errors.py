@@ -50,11 +50,16 @@ class FaultTimeoutError(FaultError, TimeoutError):
         self.words = words
         self.attempts = attempts
         self.clock = clock
+        self.detail = detail
         msg = (f"message {src}->{dst} ({words} words) timed out after "
                f"{attempts} attempts at t={clock:g} (dead link?)")
         if detail:
             msg += "\n" + detail
         super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.src, self.dst, self.words, self.attempts,
+                             self.clock, self.detail))
 
 
 class RankCrashedError(FaultError):
@@ -65,6 +70,9 @@ class RankCrashedError(FaultError):
         self.clock = clock
         super().__init__(f"rank {rank} crashed at t={clock:g}")
 
+    def __reduce__(self):
+        return (type(self), (self.rank, self.clock))
+
 
 class PeerDeadError(FaultError):
     """The communication partner crashed; the pending operation cannot complete."""
@@ -74,6 +82,11 @@ class PeerDeadError(FaultError):
         self.rank = rank
         self.peer = peer
         self.death_clock = death_clock
+        self.pending = pending
         msg = (f"rank {rank}: peer {peer} crashed at t={death_clock:g} "
                f"with {pending or 'a communication'} pending")
         super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.peer, self.death_clock,
+                             self.pending))

@@ -162,21 +162,62 @@ class FaultState:
         """
         self._msg_idx = dict(cursor)
 
+    # -- storage primitives --------------------------------------------------
+    # Every mutation of the per-run bookkeeping funnels through these small
+    # hooks so a subclass can relocate the storage without re-deriving the
+    # resolve() semantics.  The process backend maps them onto shared-memory
+    # cells (:class:`repro.parallel.faultshare.ArenaFaultState`): any rank
+    # may perform a match, so cursors, deaths and tallies must be visible
+    # across address spaces.
+
+    def _advance_cursor(self, link: tuple[int, int]) -> int:
+        """Current message index of ``link``; post-increments."""
+        n = self._msg_idx.get(link, 0)
+        self._msg_idx[link] = n + 1
+        return n
+
+    def _note_drop(self, link: tuple[int, int]) -> None:
+        self.drops[link] += 1
+
+    def _note_timeout(self, link: tuple[int, int]) -> None:
+        self.timeouts.append(link)
+
+    def _note_retry(self) -> None:
+        self.retries += 1
+
+    def _note_dup(self) -> None:
+        self.duplicates += 1
+
+    def _note_reroute(self, n: int) -> None:
+        self.rerouted += n
+
+    def _charge_extra(self, extra: float) -> None:
+        self.extra_delay += extra
+
+    def _host_dead(self, rank: int) -> bool:
+        return rank in self.dead
+
+    def _host_death_clock(self, rank: int) -> float:
+        return self.dead[rank]
+
+    def _record_host_death(self, rank: int, clock: float) -> None:
+        self.dead.setdefault(rank, clock)
+
     # -- crashes -------------------------------------------------------------
 
     def should_crash(self, rank: int, clock: float) -> bool:
         """Is ``rank`` scheduled to die at or before ``clock`` (and not yet)?"""
         at = self._crash_clock.get(rank)
-        return at is not None and rank not in self.dead and clock >= at
+        return at is not None and not self._host_dead(rank) and clock >= at
 
     def record_death(self, rank: int, clock: float) -> None:
-        self.dead.setdefault(rank, clock)
+        self._record_host_death(rank, clock)
 
     def is_dead(self, rank: int) -> bool:
-        return rank in self.dead
+        return self._host_dead(rank)
 
     def death_clock(self, rank: int) -> float:
-        return self.dead[rank]
+        return self._host_death_clock(rank)
 
     # -- message delivery ----------------------------------------------------
 
@@ -196,30 +237,29 @@ class FaultState:
             dropped = False
             links = ((src, dst), (dst, src)) if exchange else ((src, dst),)
             for a, b in links:
-                n = self._msg_idx.get((a, b), 0)
-                self._msg_idx[(a, b)] = n + 1
+                n = self._advance_cursor((a, b))
                 kind, delay = plan.verdict(a, b, n)
                 if kind == "drop":
                     dropped = True
-                    self.drops[(a, b)] += 1
+                    self._note_drop((a, b))
                 elif kind == "delay":
                     extra += delay
                 elif kind == "dup":
-                    self.duplicates += 1
+                    self._note_dup()
                     extra += base_cost
                 extra += plan.jitter_for(a, b, n)
             if not dropped:
-                self.extra_delay += extra
+                self._charge_extra(extra)
                 return Delivery(extra_delay=extra, drops=drops_here,
                                 timed_out=False)
             if drops_here >= plan.max_retries:
-                self.timeouts.append((src, dst))
-                self.extra_delay += extra
+                self._note_timeout((src, dst))
+                self._charge_extra(extra)
                 return Delivery(extra_delay=extra, drops=drops_here + 1,
                                 timed_out=True)
             extra += plan.retry_penalty(drops_here, base_cost)
             drops_here += 1
-            self.retries += 1
+            self._note_retry()
 
     # -- forensics -----------------------------------------------------------
 

@@ -20,11 +20,37 @@ sender's outbox ring, chunked per the Lowery & Langou crossover
 (:func:`repro.core.cost.pipeline_chunk_count`) so a large transfer's
 sender-side writes overlap the receiver-side reads.
 
+**Fault injection runs on real processes.**  The deterministic fault
+interpreter's mutable cells live in the arena
+(:class:`repro.parallel.faultshare.ArenaFaultState`), so match-time
+verdict resolution — drops, retries, delays, duplicates, jitter,
+timeouts — happens under the rendezvous lock in whichever child arrives
+second, exactly as in the threaded engine.  A planned *crash* is
+realized as an **actual child exit**: the dying rank does its protocol
+bookkeeping under the lock (death record, waking of blocked peers),
+then ``os._exit``\\ s with a reserved code the parent maps back to the
+``UNDEF`` result the other engines produce.
+
+**Unplanned faults are detected, never waited out.**  Every child beats
+a per-rank heartbeat in the arena on each primitive action and every
+ring-spin iteration; the parent's watchdog flags a child that exited
+without its result handshake (``SIGKILL``, OOM) or whose heartbeat froze
+while runnable (``SIGSTOP``, livelock) within a bounded interval, kills
+the remaining children of the attempt and raises a typed
+:class:`~repro.parallel.errors.ProcessIncidentError` carrying the
+rendezvous forensics.  The arena's **epoch** counter makes respawns
+safe: a straggler from a killed generation exits the moment a tick
+observes the bumped epoch, so it can never corrupt the next attempt.
+:class:`ProcessStageRunner` packages the per-attempt lifecycle (epoch
+bump, fresh lock/events, fault-cell seeding, watchdog, tally merge) for
+the recovery supervisor.
+
 Graceful degradation, never a crash: platforms without ``fork`` or
-``multiprocessing.shared_memory``, fault-injected runs (the deterministic
-fault layer is engine-local state), and rank counts beyond the
-oversubscription cap all fall back to the threaded engine with one logged
-notice (``repro.parallel`` logger).
+``multiprocessing.shared_memory``, single-core hosts (where real
+processes only time-slice and lose to threads — override with
+``REPRO_PARALLEL_FORCE=1``), and rank counts beyond the oversubscription
+cap all fall back to the threaded engine with one logged notice
+(``repro.parallel`` logger).
 """
 
 from __future__ import annotations
@@ -38,21 +64,36 @@ import time
 from typing import Any, Callable, Sequence
 
 from repro.core.cost import MachineParams, pipeline_chunk_count
+from repro.faults import (
+    FaultState,
+    FaultTimeoutError,
+    PeerDeadError,
+    RankCrashedError,
+)
 from repro.machine.engine import DeadlockError, SimResult, SimStats, describe_ranks
 from repro.machine.primitives import Compute, Probe, Recv, Send, SendRecv, comm_partner
 from repro.parallel import payload as _payload
+from repro.parallel.errors import (
+    ProcessIncidentError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from repro.parallel.shm import (
     DEFAULT_SLOT_BYTES,
     DEFAULT_SLOTS,
+    SPIN_TIMEOUT,
+    RingTimeout,
     SharedArena,
     duplex,
 )
+from repro.semantics.functional import UNDEF
 
 __all__ = [
     "process_backend_available",
     "process_fallback_reason",
     "process_spmd_run",
     "simulate_program_process",
+    "ProcessStageRunner",
 ]
 
 log = logging.getLogger("repro.parallel")
@@ -60,6 +101,11 @@ log = logging.getLogger("repro.parallel")
 _K_NONE, _K_SEND, _K_RECV, _K_SENDRECV = 0, 1, 2, 3
 _MIN_CHUNK_BYTES = 4096
 _WORD_BYTES = 8.0
+
+#: a planned (fault-schedule) crash: parent maps this exit to UNDEF
+_EXIT_CRASHED = 77
+#: a straggler from a dead arena epoch noticed the bump and left
+_EXIT_STALE = 78
 
 
 # ---------------------------------------------------------------------------
@@ -84,13 +130,32 @@ def _max_ranks() -> int:
     return max(8, 4 * (os.cpu_count() or 1))
 
 
+def _hb_timeout_default() -> float:
+    """Watchdog interval: how long a *runnable* rank may go silent.
+
+    Generous by default — heartbeats tick on every primitive action and
+    every ring-spin iteration, so only a genuinely stopped or livelocked
+    child ever approaches it.  Override with ``REPRO_PARALLEL_HB_TIMEOUT``
+    (seconds) or the ``hb_timeout`` parameter.
+    """
+    env = os.environ.get("REPRO_PARALLEL_HB_TIMEOUT")
+    if env:
+        try:
+            return max(0.1, float(env))
+        except ValueError:
+            log.warning("ignoring malformed REPRO_PARALLEL_HB_TIMEOUT=%r", env)
+    return 30.0
+
+
 def process_fallback_reason(p: int, faults=None, fault_state=None) -> str | None:
     """Why ``process_spmd_run`` would degrade to the threaded engine.
 
-    ``None`` means the process backend will genuinely run.
+    ``None`` means the process backend will genuinely run.  ``faults``
+    and ``fault_state`` are accepted for API compatibility but no longer
+    force a fallback: fault plans (including crashes) run on real
+    processes through the shared-arena fault cells.
     """
-    if fault_state is not None or (faults is not None and not faults.is_empty):
-        return "fault injection is engine-local state (threaded engine handles it)"
+    del faults, fault_state  # injected faults now run on real processes
     if sys.platform == "win32":
         return "no fork start method on this platform"
     try:
@@ -102,6 +167,12 @@ def process_fallback_reason(p: int, faults=None, fault_state=None) -> str | None
         from multiprocessing import shared_memory  # noqa: F401
     except ImportError:  # pragma: no cover - pre-3.8 / stripped stdlib
         return "multiprocessing.shared_memory unavailable"
+    if not os.environ.get("REPRO_PARALLEL_FORCE"):
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            return ("single-core host: process ranks only time-slice, so "
+                    "the threaded engine wins (see BENCH_parallel.json); "
+                    "set REPRO_PARALLEL_FORCE=1 to run real processes anyway")
     cap = _max_ranks()
     if p > cap:
         return (f"p={p} exceeds the oversubscription cap {cap} "
@@ -111,7 +182,7 @@ def process_fallback_reason(p: int, faults=None, fault_state=None) -> str | None
 
 
 def process_backend_available(p: int = 1) -> bool:
-    """Can fault-free ``p``-rank programs run as real processes here?"""
+    """Can ``p``-rank programs run as real processes here?"""
     return process_fallback_reason(p) is None
 
 
@@ -124,12 +195,17 @@ class _ProcessRendezvous:
     """Shared-memory rendezvous matcher (mirrors the threaded engine's)."""
 
     def __init__(self, size: int, params: MachineParams,
-                 arena: SharedArena, lock, events) -> None:
+                 arena: SharedArena, lock, events,
+                 fstate: FaultState | None = None) -> None:
         self.size = size
         self.params = params
         self.arena = arena
         self.lock = lock
         self.events = events
+        self.fstate = fstate
+        #: per-process liveness hook (heartbeat + epoch check in children);
+        #: each forked child installs its own after the fork
+        self._tick: Callable[[], None] | None = None
         # contention domains enumerated pre-fork so every process agrees
         # on the shared ``domain_free`` indices
         keys = sorted({k for a in range(size) for b in range(a + 1, size)
@@ -138,7 +214,8 @@ class _ProcessRendezvous:
 
     # -- matching (lock held) ----------------------------------------------
 
-    def _comm_complete(self, r: int, q: int, words: float) -> float:
+    def _comm_complete(self, r: int, q: int, words: float,
+                       extra: float = 0.0) -> float:
         a = self.arena
         ts, tw = self.params.link(r, q)
         keys = self.params.contention_domains(r, q)
@@ -146,7 +223,7 @@ class _ProcessRendezvous:
         idxs = [self._domain_idx[k] for k in keys]
         for i in idxs:
             start = max(start, float(a.domain_free[i]))
-        t = start + ts + tw * words
+        t = start + ts + tw * words + extra
         for i in idxs:
             a.domain_free[i] = t
         return t
@@ -174,6 +251,20 @@ class _ProcessRendezvous:
             for i in range(self.size)
         )
 
+    def describe_safely(self) -> str:
+        """Rendezvous forensics without requiring the lock to be free.
+
+        A killed child may have died holding the lock; a bounded acquire
+        attempt keeps the diagnosis lock-consistent when possible and
+        merely racy (never hanging) when not.
+        """
+        got = self.lock.acquire(timeout=1.0)
+        try:
+            return self._describe()
+        finally:
+            if got:
+                self.lock.release()
+
     def _copy_incoming_meta(self, src: int, dst: int) -> None:
         """Pin the sender's payload descriptor onto the receiver's slot.
 
@@ -195,6 +286,33 @@ class _ProcessRendezvous:
         a.kind[rank] = _K_NONE
         self.events[rank].set()
 
+    def _fault_resolve(self, src: int, dst: int, words: float,
+                       exchange: bool) -> float | None:
+        """Under the lock: match-time fault resolution (mirrors threaded).
+
+        Returns the extra delay to charge, or ``None`` when the message
+        timed out — in which case both endpoints have been woken with a
+        :class:`FaultTimeoutError` and the match must be abandoned.
+        """
+        a = self.arena
+        ts, tw = self.params.link(src, dst)
+        outcome = self.fstate.resolve(src, dst, ts + tw * words,
+                                      exchange=exchange)
+        if not outcome.timed_out:
+            return outcome.extra_delay
+        t = max(float(a.clock[src]), float(a.clock[dst])) \
+            + outcome.extra_delay
+        a.clock[src] = a.clock[dst] = t
+        for i in (src, dst):
+            a.waiting[i] = 0
+            a.kind[i] = _K_NONE
+        detail = self._describe()
+        for i in (src, dst):
+            a.deliver_failure(i, FaultTimeoutError(src, dst, words,
+                                                   outcome.drops, t, detail))
+            self.events[i].set()
+        return None
+
     def _try_match(self, rank: int) -> bool:
         a = self.arena
         kind = int(a.kind[rank])
@@ -204,7 +322,14 @@ class _ProcessRendezvous:
             if a.waiting[q] and int(a.kind[q]) == _K_SENDRECV \
                     and int(a.partner[q]) == rank:
                 words = max(float(a.words[rank]), float(a.words[q]))
-                t = self._comm_complete(rank, q, words)
+                extra = 0.0
+                if self.fstate is not None:
+                    lo, hi = (rank, q) if rank < q else (q, rank)
+                    delay = self._fault_resolve(lo, hi, words, exchange=True)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, words, extra)
                 a.clock[rank] = a.clock[q] = t
                 a.messages[0] += 2
                 a.stat_words[0] += float(a.words[rank]) + float(a.words[q])
@@ -223,7 +348,14 @@ class _ProcessRendezvous:
             if a.waiting[q] and int(a.kind[q]) == _K_RECV \
                     and int(a.partner[q]) == rank:
                 words = float(a.words[rank])
-                t = self._comm_complete(rank, q, words)
+                extra = 0.0
+                if self.fstate is not None:
+                    delay = self._fault_resolve(rank, q, words,
+                                                exchange=False)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, words, extra)
                 a.clock[rank] = a.clock[q] = t
                 a.messages[0] += 1
                 a.stat_words[0] += words
@@ -238,7 +370,14 @@ class _ProcessRendezvous:
             if a.waiting[q] and int(a.kind[q]) == _K_SEND \
                     and int(a.partner[q]) == rank:
                 words = float(a.words[q])
-                t = self._comm_complete(rank, q, words)
+                extra = 0.0
+                if self.fstate is not None:
+                    delay = self._fault_resolve(q, rank, words,
+                                                exchange=False)
+                    if delay is None:
+                        return True
+                    extra = delay
+                t = self._comm_complete(rank, q, words, extra)
                 a.clock[rank] = a.clock[q] = t
                 a.messages[0] += 1
                 a.stat_words[0] += words
@@ -267,8 +406,23 @@ class _ProcessRendezvous:
                     f"no progress possible (protocol mismatch)\n{detail}"))
                 self.events[i].set()
 
-    def fail_waiters_on(self, rank: int, exc_factory) -> None:
+    def _wake_waiters_on(self, rank: int) -> None:
         """Lock held: fail every rank blocked on the (dead) ``rank``."""
+        a = self.arena
+        death = self.fstate.death_clock(rank)
+        for i in range(self.size):
+            if not a.waiting[i]:
+                continue
+            pending = self._pending_action(i)
+            if comm_partner(pending) == rank:
+                a.waiting[i] = 0
+                a.kind[i] = _K_NONE
+                self.arena.deliver_failure(
+                    i, PeerDeadError(i, rank, death, repr(pending)))
+                self.events[i].set()
+
+    def fail_waiters_on(self, rank: int, exc_factory) -> None:
+        """Lock held: fail every rank blocked on the (lost) ``rank``."""
         a = self.arena
         for i in range(self.size):
             if a.waiting[i] and comm_partner(self._pending_action(i)) == rank:
@@ -300,6 +454,7 @@ class _ProcessRendezvous:
         in_src = int(a.xfer_in[rank])
         writer = reader = None
         in_kind = dest_obj = None
+        in_nbytes = 0
         if out_dst >= 0:
             nbytes, buffers = staged
             writer = a.write_stream(rank, buffers, nbytes,
@@ -315,12 +470,23 @@ class _ProcessRendezvous:
                 in_kind, in_nbytes, in_k, shape, dtype)
             reader = a.read_stream(in_src, int(a.xfer_base[rank]), dest_view,
                                    in_nbytes, self._chunk_bytes(in_nbytes))
-        if writer is not None and reader is not None:
-            duplex(writer, reader)
-        elif writer is not None:
-            writer.run()
-        elif reader is not None:
-            reader.run()
+        try:
+            if writer is not None and reader is not None:
+                duplex(writer, reader, tick=self._tick)
+            elif writer is not None:
+                writer.run(tick=self._tick)
+            elif reader is not None:
+                reader.run(tick=self._tick)
+        except RingTimeout as exc:
+            # the matched peer stopped moving bytes without dying loudly:
+            # surface a typed incident with the pending-transfer forensics
+            # instead of the bare ring watchdog
+            peer = out_dst if out_dst >= 0 else in_src
+            detail = (f"rank {rank}: transfer with rank {peer} stalled "
+                      f"(out->{out_dst}, in<-{in_src}, "
+                      f"out_bytes={staged[0] if staged else 0}, "
+                      f"in_bytes={in_nbytes})\n" + self.describe_safely())
+            raise WorkerHangError(peer, SPIN_TIMEOUT, detail) from exc
         a.xfer_out[rank] = -1
         a.xfer_in[rank] = -1
         if reader is not None:
@@ -330,6 +496,8 @@ class _ProcessRendezvous:
     # -- public API (same protocol as the threaded rendezvous) --------------
 
     def execute(self, rank: int, action: Any) -> Any:
+        if self._tick is not None:
+            self._tick()
         a = self.arena
         if isinstance(action, Probe):
             return None  # per-action timelines are engine-local; see docs
@@ -357,6 +525,22 @@ class _ProcessRendezvous:
 
         event = self.events[rank]
         with self.lock:
+            if self.fstate is not None:
+                # Crashes take effect at the next communication action —
+                # the same observable point as the other engines.  The
+                # death bookkeeping happens here, under the lock, because
+                # the dying child exits the interpreter without unwinding
+                # (os._exit skips finally blocks).
+                clock = float(a.clock[rank])
+                if self.fstate.should_crash(rank, clock):
+                    self.fstate.record_death(rank, clock)
+                    self._wake_waiters_on(rank)
+                    raise RankCrashedError(rank, clock)
+                peer = comm_partner(action)
+                if peer is not None and self.fstate.is_dead(peer):
+                    raise PeerDeadError(rank, peer,
+                                        self.fstate.death_clock(peer),
+                                        repr(action))
             event.clear()
             if staged is not None:
                 _payload.stage_meta(a, rank, wk, nbytes, k, ndim, shape, dtype)
@@ -384,15 +568,33 @@ class _ProcessRendezvous:
 # ---------------------------------------------------------------------------
 
 
-def _child_main(rdv: _ProcessRendezvous, program, inputs, rank: int) -> None:
+def _child_main(rdv: _ProcessRendezvous, program, inputs, rank: int,
+                epoch: int = 0) -> None:
     """One rank: drive the program, then stream the result to the parent."""
     from repro.mpi.threaded import ThreadedComm, _ThreadContext
 
     arena = rdv.arena
+
+    def tick() -> None:
+        # liveness beat (watchdog food) + stale-epoch self-destruct: a
+        # straggler from a killed generation must never publish into the
+        # respawned one
+        arena.hb[rank] += 1
+        if int(arena.epoch[0]) != epoch:
+            os._exit(_EXIT_STALE)
+
+    rdv._tick = tick
     state = 1
     try:
         ctx = _ThreadContext(rank, rdv.size, rdv)
         result = program(ThreadedComm(ctx), inputs[rank])
+    except RankCrashedError:
+        # a *planned* crash, realized as a real process death: protocol
+        # bookkeeping (death record, waking of peers) already happened
+        # under the lock in execute(); finish() marks this rank gone so
+        # the deadlock detector stays exact, then the process truly dies.
+        rdv.finish(rank)
+        os._exit(_EXIT_CRASHED)
     except BaseException as exc:  # noqa: BLE001 - transported to the parent
         state, result = 2, exc
     finally:
@@ -409,28 +611,30 @@ def _child_main(rdv: _ProcessRendezvous, program, inputs, rank: int) -> None:
         arena.result_base[rank] = int(arena.wseq[rank])
         arena.result_state[rank] = state
     arena.write_stream(rank, buffers, nbytes,
-                       rdv._chunk_bytes(nbytes)).run()
+                       rdv._chunk_bytes(nbytes)).run(tick=rdv._tick)
 
 
-def _drain_result(rdv: _ProcessRendezvous, rank: int, proc) -> tuple[int, Any]:
-    """Parent side: wait for ``rank``'s result and stream it in."""
+def _kill_all(procs) -> None:
+    """Hard-stop every remaining child of an attempt (idempotent)."""
+    for proc in procs:
+        if proc is not None and proc.is_alive():
+            proc.kill()
+    for proc in procs:
+        if proc is not None:
+            proc.join(timeout=5.0)
+
+
+def _read_result(rdv: _ProcessRendezvous, rank: int, proc,
+                 liveness_tick=None) -> tuple[int, Any]:
+    """Parent side: stream in ``rank``'s published result.
+
+    ``liveness_tick`` (from :func:`_watch_ranks`) keeps watching *every*
+    child while this read blocks: the reader may legitimately wait on a
+    different live rank (the ring's rseq hand-off serializes consumers),
+    and that rank dying must surface as its own typed incident, not as a
+    five-minute ring stall.
+    """
     a = rdv.arena
-    delay = 0.0
-    while not a.result_state[rank]:
-        if proc is not None and not proc.is_alive():
-            # died without a word (hard kill, interpreter abort): make its
-            # pending partners fail instead of spinning forever
-            death = RuntimeError(
-                f"rank {rank} process died with exitcode {proc.exitcode}")
-            with rdv.lock:
-                a.alive[rank] = 0
-                rdv.fail_waiters_on(rank, lambda i, d=death: RuntimeError(
-                    f"rank {i}: peer failed: {d}"))
-                if rdv._deadlocked():
-                    rdv._fail_all()
-            return 2, death
-        time.sleep(delay)
-        delay = min(delay * 2 or 1e-6, 1e-3)
     state = int(a.result_state[rank])
     in_kind = int(a.meta_kind[rank])
     in_nbytes = int(a.meta_nbytes[rank])
@@ -440,9 +644,161 @@ def _drain_result(rdv: _ProcessRendezvous, rank: int, proc) -> tuple[int, Any]:
     dtype = bytes(a.meta_dtype[rank]).rstrip(b"\x00").decode("ascii")
     dest_obj, dest_view = _payload.alloc_destination(
         in_kind, in_nbytes, in_k, shape, dtype)
-    a.read_stream(rank, int(a.result_base[rank]), dest_view, in_nbytes,
-                  rdv._chunk_bytes(in_nbytes)).run()
+    reader = a.read_stream(rank, int(a.result_base[rank]), dest_view,
+                           in_nbytes, rdv._chunk_bytes(in_nbytes))
+    dead_seen = False
+
+    def tick() -> None:
+        nonlocal dead_seen
+        if liveness_tick is not None:
+            liveness_tick()
+        if proc is None or proc.is_alive() \
+                or proc.exitcode == _EXIT_CRASHED:
+            return
+        if int(a.wseq[rank]) > reader._next:
+            # the chunk we need IS published; we are waiting for an
+            # earlier (live) consumer's rseq hand-off, not for the writer
+            dead_seen = False
+            return
+        # Raise only on the second silent iteration after observing the
+        # death: the child's final ring publishes land in shared memory
+        # before its exit is observable, so one more readiness check
+        # after death separates "exited having published everything"
+        # from "died mid-stream".
+        if dead_seen:
+            raise WorkerCrashError(
+                rank, proc.exitcode,
+                "died while streaming its result\n" + rdv.describe_safely())
+        dead_seen = True
+
+    try:
+        reader.run(tick=tick)
+    except RingTimeout as exc:
+        raise WorkerHangError(
+            rank, SPIN_TIMEOUT,
+            f"result stream stalled ({exc})\n" + rdv.describe_safely(),
+        ) from exc
     return state, _payload.finish_destination(in_kind, dest_obj)
+
+
+def _watch_ranks(rdv: _ProcessRendezvous, procs,
+                 hb_timeout: float) -> tuple[list[int], list[Any]]:
+    """Parent watchdog: drain every rank's result or raise a typed incident.
+
+    Monitors all ranks concurrently (a sequential per-rank drain would
+    hang forever on rank 0 if rank 2 was SIGKILLed).  Detection rules:
+
+    * a process that exited without its result handshake is a
+      :class:`WorkerCrashError` — unless it left with the reserved
+      planned-crash code, which maps to the ``UNDEF`` result the other
+      engines produce for a scheduled crash;
+    * a heartbeat frozen for ``hb_timeout`` while the rank is *runnable*
+      (``waiting == 0``) is a :class:`WorkerHangError`.  Ranks blocked in
+      a rendezvous wait legitimately do not beat — the matcher or the
+      deadlock detector owns waking them, and once a lost peer is
+      detected their waits are failed explicitly.
+
+    On any incident every remaining child of the attempt is killed
+    before the error propagates: recovery happens by respawning into a
+    fresh arena epoch, never by surgical repair of a half-dead ring.
+    """
+    a = rdv.arena
+    p = rdv.size
+    states = [0] * p
+    values: list[Any] = [None] * p
+    pending = set(range(p))
+    now = time.monotonic()
+    hb_seen = {r: (int(a.hb[r]), now) for r in range(p)}
+
+    def check_rank(rank: int) -> None:
+        """Raise a typed incident if ``rank`` crashed or went silent."""
+        proc = procs[rank]
+        if proc is not None and not proc.is_alive():
+            # result_state is re-read *after* observing the death: the
+            # child publishes it before exiting, so a normal finish can
+            # never be mistaken for a crash
+            if a.result_state[rank] or proc.exitcode == _EXIT_CRASHED:
+                return
+            raise WorkerCrashError(rank, proc.exitcode,
+                                   rdv.describe_safely())
+        if a.result_state[rank]:
+            return  # protocol done; only its result stream remains
+        hb = int(a.hb[rank])
+        now = time.monotonic()
+        last, since = hb_seen[rank]
+        if hb != last:
+            hb_seen[rank] = (hb, now)
+        elif not a.waiting[rank] and now - since > hb_timeout:
+            raise WorkerHangError(rank, now - since, rdv.describe_safely())
+
+    def liveness_tick() -> None:
+        for rank in range(p):
+            check_rank(rank)
+
+    delay = 0.0
+    try:
+        while pending:
+            progressed = False
+            for rank in sorted(pending):
+                proc = procs[rank]
+                if a.result_state[rank]:
+                    states[rank], values[rank] = _read_result(
+                        rdv, rank, proc, liveness_tick)
+                    pending.discard(rank)
+                    progressed = True
+                    continue
+                if proc is not None and not proc.is_alive() \
+                        and proc.exitcode == _EXIT_CRASHED \
+                        and not a.result_state[rank]:
+                    states[rank] = 3  # planned crash -> UNDEF result
+                    pending.discard(rank)
+                    progressed = True
+                    continue
+                check_rank(rank)
+            if progressed:
+                delay = 0.0
+            else:
+                time.sleep(delay)
+                delay = min(delay * 2 or 1e-6, 1e-3)
+    except ProcessIncidentError:
+        _kill_all(procs)
+        raise
+    return states, values
+
+
+def _collect(arena: SharedArena, states: Sequence[int],
+             values: Sequence[Any], faults_summary) -> SimResult:
+    """Turn drained per-rank states into a SimResult (threaded precedence)."""
+    p = len(states)
+    results: list[Any] = [None] * p
+    errors: list[BaseException | None] = [None] * p
+    for rank in range(p):
+        if states[rank] == 2:
+            errors[rank] = values[rank]
+        elif states[rank] == 3:
+            results[rank] = UNDEF
+        else:
+            results[rank] = values[rank]
+    real = [e for e in errors
+            if e is not None and not isinstance(e, DeadlockError)]
+    dead = [e for e in errors if isinstance(e, DeadlockError)]
+    if real:
+        raise real[0]
+    if dead:
+        raise dead[0]
+    stats = SimStats(
+        messages=int(arena.messages[0]),
+        words=float(arena.stat_words[0]),
+        compute_ops=float(arena.compute_ops[0]),
+        clocks=tuple(float(c) for c in arena.clock),
+    )
+    return SimResult(values=tuple(results), time=stats.makespan,
+                     stats=stats, faults=faults_summary)
+
+
+def _enum_domains(params: MachineParams, p: int) -> int:
+    return len({k for a in range(p) for b in range(a + 1, p)
+                for k in params.contention_domains(a, b)})
 
 
 def process_spmd_run(
@@ -454,6 +810,8 @@ def process_spmd_run(
     initial_clocks: Sequence[float] | None = None,
     slot_bytes: int = DEFAULT_SLOT_BYTES,
     slots: int = DEFAULT_SLOTS,
+    hb_timeout: float | None = None,
+    spawn_hook: Callable[[list, dict], None] | None = None,
 ) -> SimResult:
     """Run a blocking SPMD program with one OS process per rank.
 
@@ -465,9 +823,20 @@ def process_spmd_run(
     memory; rank-local state (programs, closures, operators) is inherited
     by forking and never serialized.
 
+    Fault plans run on the real processes: verdicts resolve in shared
+    arena cells at match time, planned crashes become actual child exits
+    mapped back to ``UNDEF`` results, and a passed ``fault_state`` is
+    mutated in place (deaths, cursors, tallies) exactly as the threaded
+    engine would, even when the run raises.  ``spawn_hook(procs, meta)``
+    is called once the children are started — the chaos harness uses it
+    to SIGKILL real ranks mid-run.  ``hb_timeout`` bounds how long a
+    runnable rank may go silent before the watchdog raises a typed
+    :class:`~repro.parallel.errors.ProcessIncidentError`.
+
     Degrades to :func:`threaded_spmd_run` — with one logged notice, never
-    an error — when the platform lacks ``fork``/``shared_memory``, when a
-    fault plan is armed, or when ``len(inputs)`` exceeds the
+    an error — when the platform lacks ``fork``/``shared_memory``, on
+    single-core hosts (processes only time-slice there; force with
+    ``REPRO_PARALLEL_FORCE=1``), or when ``len(inputs)`` exceeds the
     oversubscription cap (see :func:`process_fallback_reason`).
     """
     p = len(inputs)
@@ -476,11 +845,13 @@ def process_spmd_run(
     if params is None:
         params = MachineParams(p=p, ts=0.0, tw=0.0, m=1)
 
-    reason = process_fallback_reason(p, faults, fault_state)
+    reason = process_fallback_reason(p)
     if reason is None:
         try:
-            return _process_spmd_run(program, inputs, params,
-                                     initial_clocks, slot_bytes, slots)
+            return _process_spmd_run(program, inputs, params, faults,
+                                     fault_state, initial_clocks,
+                                     slot_bytes, slots, hb_timeout,
+                                     spawn_hook)
         except OSError as exc:
             reason = f"shared-memory setup failed ({exc})"
     log.warning("process backend unavailable (%s); "
@@ -492,62 +863,139 @@ def process_spmd_run(
                              initial_clocks=initial_clocks)
 
 
-def _process_spmd_run(program, inputs, params, initial_clocks,
-                      slot_bytes, slots) -> SimResult:
+def _process_spmd_run(program, inputs, params, faults, fault_state,
+                      initial_clocks, slot_bytes, slots, hb_timeout,
+                      spawn_hook) -> SimResult:
+    from repro.parallel.faultshare import ArenaFaultState
+
     p = len(inputs)
     ctx = multiprocessing.get_context("fork")
-    # enumerate contention domains before building the arena so the shared
-    # free-time table has one cell per domain
-    n_domains = len({k for a in range(p) for b in range(a + 1, p)
-                     for k in params.contention_domains(a, b)})
-    arena = SharedArena(p, n_domains=n_domains, slot_bytes=slot_bytes,
-                        slots=slots)
+    master = fault_state
+    if master is None and faults is not None and not faults.is_empty:
+        master = FaultState(faults)
+    arena = SharedArena(p, n_domains=_enum_domains(params, p),
+                        slot_bytes=slot_bytes, slots=slots)
     try:
+        afs = None
+        if master is not None:
+            afs = ArenaFaultState.from_master(master, arena)
         lock = ctx.Lock()
         events = [ctx.Event() for _ in range(p)]
-        rdv = _ProcessRendezvous(p, params, arena, lock, events)
+        rdv = _ProcessRendezvous(p, params, arena, lock, events, fstate=afs)
         if initial_clocks is not None:
             for r, clock in enumerate(initial_clocks):
                 arena.clock[r] = clock
+        epoch = int(arena.epoch[0])
 
         procs = [ctx.Process(target=_child_main,
-                             args=(rdv, program, inputs, rank), daemon=True)
+                             args=(rdv, program, inputs, rank, epoch),
+                             daemon=True)
                  for rank in range(p)]
         for proc in procs:
             proc.start()
+        if spawn_hook is not None:
+            spawn_hook(procs, {"stage": None, "attempt": 1, "epoch": epoch})
 
-        results: list[Any] = [None] * p
-        errors: list[BaseException | None] = [None] * p
-        for rank in range(p):
-            state, value = _drain_result(rdv, rank, procs[rank])
-            if state == 2:
-                errors[rank] = value
-            else:
-                results[rank] = value
+        try:
+            states, values = _watch_ranks(
+                rdv, procs,
+                hb_timeout if hb_timeout is not None else _hb_timeout_default())
+        finally:
+            # the caller's fault state must reflect this attempt's deaths
+            # and cursor motion even when we raise (the supervisor reads
+            # it to decide quarantine/shrink)
+            if afs is not None:
+                afs.merge_into(master)
         for proc in procs:
             proc.join(timeout=30.0)
             if proc.is_alive():  # pragma: no cover - stuck child backstop
                 proc.terminate()
                 proc.join(timeout=5.0)
 
-        real = [e for e in errors
-                if e is not None and not isinstance(e, DeadlockError)]
-        dead = [e for e in errors if isinstance(e, DeadlockError)]
-        if real:
-            raise real[0]
-        if dead:
-            raise dead[0]
-
-        stats = SimStats(
-            messages=int(arena.messages[0]),
-            words=float(arena.stat_words[0]),
-            compute_ops=float(arena.compute_ops[0]),
-            clocks=tuple(float(c) for c in arena.clock),
-        )
-        return SimResult(values=tuple(results), time=stats.makespan,
-                         stats=stats, faults=None)
+        return _collect(arena, states, values,
+                        master.summary() if master is not None else None)
     finally:
         arena.close()
+
+
+class ProcessStageRunner:
+    """Per-attempt process-backend lifecycle for the recovery supervisor.
+
+    Owns one :class:`SharedArena` reused across every stage attempt of a
+    supervised run.  Each :meth:`run_stage` call starts a fresh **arena
+    epoch** (so stragglers of a killed previous attempt self-destruct),
+    builds fresh lock/events (a SIGKILLed child may have died holding
+    the old lock), seeds the shared fault cells from the supervisor's
+    master fault state, forks one child per rank resuming the
+    checkpointed clocks, and watches them — merging the attempt's fault
+    deltas back into the master whether the attempt succeeds or raises.
+    """
+
+    def __init__(self, params: MachineParams, p: int,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 slots: int = DEFAULT_SLOTS,
+                 hb_timeout: float | None = None,
+                 spawn_hook: Callable[[list, dict], None] | None = None) -> None:
+        self.params = params
+        self.p = p
+        self.ctx = multiprocessing.get_context("fork")
+        self.hb_timeout = (hb_timeout if hb_timeout is not None
+                           else _hb_timeout_default())
+        self.spawn_hook = spawn_hook
+        # OSError (shm exhausted) propagates: the supervisor degrades to
+        # the threaded engine with a loud "fallback" event
+        self.arena = SharedArena(p, n_domains=_enum_domains(params, p),
+                                 slot_bytes=slot_bytes, slots=slots)
+        self.last_epoch = int(self.arena.epoch[0])
+
+    def run_stage(self, stage, blocks: Sequence[Any],
+                  clocks: Sequence[float], fstate,
+                  stage_index: int, attempt: int, log=None) -> SimResult:
+        """Execute one stage on real processes from checkpointed state."""
+        from repro.machine.run import execute_stage
+        from repro.parallel.faultshare import ArenaFaultState
+
+        arena = self.arena
+        epoch = arena.reset_for_epoch()
+        self.last_epoch = epoch
+        if log is not None:
+            log.emit("epoch_bump", stage=stage_index, attempt=attempt,
+                     epoch=epoch)
+        afs = ArenaFaultState.from_master(fstate, arena)
+        lock = self.ctx.Lock()
+        events = [self.ctx.Event() for _ in range(self.p)]
+        rdv = _ProcessRendezvous(self.p, self.params, arena, lock, events,
+                                 fstate=afs)
+        for r, clock in enumerate(clocks):
+            arena.clock[r] = clock
+
+        def rank_program(comm, x: Any) -> Any:
+            c = comm._ctx
+            return c.drive(execute_stage(c, stage, x))
+
+        procs = [self.ctx.Process(
+                     target=_child_main,
+                     args=(rdv, rank_program, blocks, rank, epoch),
+                     daemon=True)
+                 for rank in range(self.p)]
+        for proc in procs:
+            proc.start()
+        if self.spawn_hook is not None:
+            self.spawn_hook(procs, {"stage": stage_index, "attempt": attempt,
+                                    "epoch": epoch,
+                                    "hosts": list(fstate.hosts)})
+        try:
+            states, values = _watch_ranks(rdv, procs, self.hb_timeout)
+        finally:
+            afs.merge_into(fstate)
+            # no child of this epoch may survive into the next
+            for proc in procs:
+                proc.join(timeout=5.0)
+            _kill_all(procs)
+        return _collect(arena, states, values, fstate.summary())
+
+    def close(self) -> None:
+        self.arena.close()
 
 
 def simulate_program_process(program, inputs, params=None, faults=None,
@@ -559,9 +1007,11 @@ def simulate_program_process(program, inputs, params=None, faults=None,
     executes the same per-stage collective algorithms; results and
     virtual times match the cooperative engine bit for bit
     (property-tested), while the payloads genuinely cross address spaces
-    through shared memory.  ``vectorize=True`` lowers the program to the
-    NumPy block kernels first (with the usual exact object-mode
-    fallback); packed tuple states travel as one contiguous stream.
+    through shared memory.  Fault plans run on the real processes too —
+    planned crashes become actual child exits.  ``vectorize=True``
+    lowers the program to the NumPy block kernels first (with the usual
+    exact object-mode fallback); packed tuple states travel as one
+    contiguous stream.
     """
     from repro.machine.run import execute_stage
 

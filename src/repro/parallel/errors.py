@@ -1,0 +1,77 @@
+"""Typed incidents of the real-process backend.
+
+These are the *unplanned* failures — a child process that actually died
+(SIGKILL, OOM, un-handled exception after its result handshake) or went
+silent (SIGSTOP, livelock, a hung syscall) — as opposed to the *planned*
+faults of :mod:`repro.faults`, which the fault interpreter realizes
+deterministically inside the simulated clock.
+
+The parent's watchdog (:func:`repro.parallel.backend._watch_ranks`)
+converts every such incident into one of these types, attaches the
+rendezvous forensics (who was blocked on what, pending src/dst/words),
+kills the remaining children of the attempt and raises — never a hang,
+never a bare ``RingTimeout``.  The recovery supervisor treats them as
+respawnable: the crashed rank is restarted into a fresh arena epoch from
+the latest checkpoint, up to ``RecoveryPolicy.max_respawns`` times per
+rank before the incident is promoted to a permanent host death.
+
+They subclass :class:`~repro.faults.errors.FaultError` so the existing
+"typed fault or completion, never a hang" contract covers real crashes
+too, and carry ``__reduce__`` so they survive the pickled fail-cell trip
+between processes.
+"""
+
+from __future__ import annotations
+
+from repro.faults.errors import FaultError
+
+__all__ = ["ProcessIncidentError", "WorkerCrashError", "WorkerHangError"]
+
+
+class ProcessIncidentError(FaultError):
+    """A real child process failed outside the planned fault schedule.
+
+    ``rank`` is the physical rank whose process caused the incident.
+    """
+
+    rank: int
+
+
+class WorkerCrashError(ProcessIncidentError):
+    """A rank's process exited without completing its result handshake."""
+
+    def __init__(self, rank: int, exitcode: int | None,
+                 detail: str = "") -> None:
+        self.rank = rank
+        self.exitcode = exitcode
+        self.detail = detail
+        msg = f"rank {rank} process died (exitcode={exitcode})"
+        if detail:
+            msg += "\n" + detail
+        super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.exitcode, self.detail))
+
+
+class WorkerHangError(ProcessIncidentError):
+    """A rank's process stopped beating its heartbeat while runnable.
+
+    ``silence`` is how long (wall-clock seconds) the heartbeat stayed
+    frozen while the rank was *not* legitimately blocked in a rendezvous
+    wait — blocked ranks are woken by the matcher or the deadlock
+    detector, so a frozen runnable rank is the only true hang signal.
+    """
+
+    def __init__(self, rank: int, silence: float, detail: str = "") -> None:
+        self.rank = rank
+        self.silence = silence
+        self.detail = detail
+        msg = (f"rank {rank} process went silent "
+               f"(no heartbeat for {silence:.1f}s)")
+        if detail:
+            msg += "\n" + detail
+        super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.silence, self.detail))

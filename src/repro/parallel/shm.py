@@ -30,6 +30,17 @@ store order plus the interpreter's own synchronization make the data
 writes visible before the published sequence number).  Spins carry a
 generous watchdog so a lost peer turns into a diagnosed error, never a
 silent hang.
+
+The arena also carries the **liveness layer** the parent's watchdog
+reads: a per-rank heartbeat counter (``hb``, beaten by every rank on
+each primitive action and every ring-spin iteration via the ``tick``
+hooks below) and an **epoch** generation counter.  Between supervision
+attempts the parent calls :meth:`SharedArena.reset_for_epoch`, which
+zeroes all control state and bumps the epoch; a straggler child from a
+killed generation notices the mismatch on its next tick and exits
+immediately, so a stale writer can never corrupt a respawned run.
+Shared fault-interpreter cells (message cursors, death records, tallies)
+live here too — see :mod:`repro.parallel.faultshare`.
 """
 
 from __future__ import annotations
@@ -56,11 +67,20 @@ class RingTimeout(RuntimeError):
     """A ring spin exceeded the watchdog (peer lost without notice)."""
 
 
-def _spin(cond, what: str, timeout: float = SPIN_TIMEOUT) -> None:
-    """Spin until ``cond()`` with exponential micro-sleep backoff."""
+def _spin(cond, what: str, timeout: float = SPIN_TIMEOUT, tick=None) -> None:
+    """Spin until ``cond()`` with exponential micro-sleep backoff.
+
+    ``tick`` (optional) is invoked once per iteration — the liveness
+    hook: a child beats its heartbeat and checks the arena epoch, the
+    parent checks whether the peer process is still alive.  A tick may
+    raise to abort the spin with a typed, diagnosed error instead of
+    waiting out the full watchdog.
+    """
     delay = 0.0
     deadline = time.monotonic() + timeout
     while not cond():
+        if tick is not None:
+            tick()
         if time.monotonic() > deadline:
             raise RingTimeout(f"shared-memory ring stalled: {what}")
         time.sleep(delay)
@@ -120,6 +140,20 @@ class SharedArena:
             ("stat_words", f64, 1),
             ("compute_ops", f64, 1),
             ("domain_free", f64, max(n_domains, 1)),
+            # -- liveness layer (parent watchdog) --------------------------
+            ("epoch", i64, 1),       # arena generation; bumped per attempt
+            ("hb", i64, p),          # per-rank heartbeat counters
+            # -- shared fault-interpreter cells (see parallel/faultshare) --
+            ("f_cursor", i64, (p, p)),       # per-directed-link msg index
+            ("f_drops", i64, (p, p)),
+            ("f_timeouts", i64, (p, p)),
+            ("f_dead", i64, p),              # physical hosts down (0/1)
+            ("f_dead_virtual", i64, p),      # virtual ranks down (0/1)
+            ("f_death_clock", f64, p),
+            ("f_retries", i64, 1),
+            ("f_dups", i64, 1),
+            ("f_rerouted", i64, 1),
+            ("f_extra", f64, 1),
         ]
         offset = 0
         layout = []
@@ -158,8 +192,50 @@ class SharedArena:
 
     # -- lifecycle (parent only) -------------------------------------------
 
+    def reset_for_epoch(self) -> int:
+        """Zero all control state and start a fresh arena generation.
+
+        Called by the parent between supervision attempts, strictly
+        *after* every child of the previous generation has been killed
+        and joined.  Returns the new epoch number; children of the new
+        generation are told it at fork time and ``os._exit`` the moment
+        a tick observes a mismatch, so a straggler from a dead epoch can
+        never publish into a live one.  Fault-interpreter cells are not
+        touched here — :meth:`ArenaFaultState.from_master
+        <repro.parallel.faultshare.ArenaFaultState.from_master>` re-seeds
+        them from the parent's master state per attempt.
+        """
+        self.kind[:] = 0
+        self.partner[:] = -1
+        self.words[:] = 0.0
+        self.waiting[:] = 0
+        self.alive[:] = 1
+        self.clock[:] = 0.0
+        self.xfer_out[:] = -1
+        self.xfer_in[:] = -1
+        self.xfer_base[:] = 0
+        for name in ("meta_kind", "meta_nbytes", "meta_k", "meta_ndim",
+                     "meta_shape", "meta_dtype", "in_kind", "in_nbytes",
+                     "in_k", "in_ndim", "in_shape", "in_dtype"):
+            getattr(self, name)[:] = 0
+        self.wseq[:] = 0
+        self.rseq[:] = 0
+        self.fail_len[:] = 0
+        self.result_state[:] = 0
+        self.result_base[:] = 0
+        self.messages[:] = 0
+        self.stat_words[:] = 0.0
+        self.compute_ops[:] = 0.0
+        self.domain_free[:] = 0.0
+        self.hb[:] = 0
+        self.epoch[0] += 1
+        return int(self.epoch[0])
+
     def close(self) -> None:
-        """Release the mapping and unlink the segment (parent, once)."""
+        """Release the mapping and unlink the segment (parent; idempotent)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         # drop every numpy view first: SharedMemory.close() refuses while
         # exported buffers are alive
         for name in list(self.__dict__):
@@ -256,9 +332,9 @@ class _Writer:
         if self._sent >= self.nbytes:
             self.done = True
 
-    def run(self) -> None:
+    def run(self, tick=None) -> None:
         while not self.done:
-            _spin(self.ready, f"rank {self.rank} outbox full")
+            _spin(self.ready, f"rank {self.rank} outbox full", tick=tick)
             self.step()
 
 
@@ -294,13 +370,13 @@ class _Reader:
         if self._got >= self.nbytes:
             self.done = True
 
-    def run(self) -> None:
+    def run(self, tick=None) -> None:
         while not self.done:
-            _spin(self.ready, f"rank {self.src} outbox empty")
+            _spin(self.ready, f"rank {self.src} outbox empty", tick=tick)
             self.step()
 
 
-def duplex(writer: _Writer, reader: _Reader) -> None:
+def duplex(writer: _Writer, reader: _Reader, tick=None) -> None:
     """Drive a SendRecv's outgoing and incoming streams concurrently.
 
     Strict alternation would deadlock once both directions exceed the
@@ -321,6 +397,8 @@ def duplex(writer: _Writer, reader: _Reader) -> None:
             delay = 0.0
             deadline = time.monotonic() + SPIN_TIMEOUT
             continue
+        if tick is not None:
+            tick()
         if time.monotonic() > deadline:
             raise RingTimeout("duplex exchange stalled")
         time.sleep(delay)

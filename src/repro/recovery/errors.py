@@ -40,7 +40,11 @@ class UnrecoverableError(FaultError):
     def __init__(self, policy: str, stage: int, detail: str = "") -> None:
         self.policy = policy
         self.stage = stage
+        self.detail = detail
         msg = f"recovery exhausted [{policy}] at stage {stage}"
         if detail:
             msg += f": {detail}"
         super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.policy, self.stage, self.detail))

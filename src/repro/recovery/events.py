@@ -16,10 +16,16 @@ from typing import Any
 
 __all__ = ["RecoveryLog"]
 
-#: event kinds a supervisor may emit, in the order they typically appear
+#: event kinds a supervisor may emit, in the order they typically appear;
+#: the second row is the real-process incident vocabulary (``engine=
+#: "process"`` only): a heartbeat frozen past the watchdog interval, a
+#: child that exited without its result handshake, an arena generation
+#: bump before an attempt, a respawn of a crashed rank from checkpoint,
+#: and the loud last-resort degradation to the threaded engine
 EVENT_KINDS = (
     "start", "checkpoint", "fault", "restore", "quarantine",
     "replan", "shrink", "complete", "unrecoverable",
+    "heartbeat_miss", "child_exit", "epoch_bump", "respawn", "fallback",
 )
 
 

@@ -58,6 +58,13 @@ class RecoveryPolicy:
     #: model time per rank for taking one checkpoint
     #: (None: ``m / 8`` — a fraction of touching the local block)
     checkpoint_ops: float | None = None
+    #: (process engine) unplanned incidents — SIGKILL, OOM, frozen
+    #: heartbeat — tolerated per rank before the rank is declared
+    #: permanently dead and shrink-recovery takes over
+    max_respawns: int = 2
+    #: (process engine) incidents on one stage before the supervisor
+    #: loudly degrades the rest of the run to the threaded engine
+    process_fallback_after: int = 6
 
     def __post_init__(self) -> None:
         if self.max_stage_attempts < 1:
@@ -76,6 +83,10 @@ class RecoveryPolicy:
             raise ValueError("negative resilience penalty")
         if self.checkpoint_ops is not None and self.checkpoint_ops < 0:
             raise ValueError("negative checkpoint cost")
+        if self.max_respawns < 0:
+            raise ValueError("negative respawn budget")
+        if self.process_fallback_after < 1:
+            raise ValueError("process fallback threshold must be >= 1")
 
     def resolved(self, params: MachineParams) -> "RecoveryPolicy":
         """Pin every ``None`` knob against concrete machine parameters."""

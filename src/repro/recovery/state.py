@@ -54,7 +54,7 @@ class SupervisedFaultState(FaultState):
         self.quarantined.add(link)
 
     def alive_hosts(self) -> list[int]:
-        return [r for r in range(self.nphys) if r not in self.dead]
+        return [r for r in range(self.nphys) if not self._host_dead(r)]
 
     def find_relay(self, x: int, y: int) -> int | None:
         """Lowest-numbered healthy relay for quarantined link ``x -> y``.
@@ -64,7 +64,7 @@ class SupervisedFaultState(FaultState):
         (Leg *faults* are irrelevant: relayed traffic bypasses the plan.)
         """
         for r in range(self.nphys):
-            if r == x or r == y or r in self.dead:
+            if r == x or r == y or self._host_dead(r):
                 continue
             if (x, r) in self.quarantined or (r, y) in self.quarantined:
                 continue
@@ -76,7 +76,7 @@ class SupervisedFaultState(FaultState):
 
         Returns the virtual ranks that moved (revived for the replay).
         """
-        if new_host in self.dead:
+        if self._host_dead(new_host):
             raise ValueError(f"cannot rehost onto dead rank {new_host}")
         moved = [v for v in range(len(self.hosts))
                  if self.hosts[v] == dead_host]
@@ -85,26 +85,34 @@ class SupervisedFaultState(FaultState):
             self._dead_virtual.discard(v)
         return moved
 
+    # -- virtual-death storage (overridable, like the FaultState hooks) ------
+
+    def _virt_dead(self, rank: int) -> bool:
+        return rank in self._dead_virtual
+
+    def _record_virt_death(self, rank: int) -> None:
+        self._dead_virtual.add(rank)
+
     # -- FaultState API in virtual coordinates -------------------------------
 
     def should_crash(self, rank: int, clock: float) -> bool:
         host = self.hosts[rank]
-        if host in self.dead:
+        if self._host_dead(host):
             # the host is down: every co-hosted virtual dies at its next
             # communication action (not only the one that hit the crash)
-            return rank not in self._dead_virtual
+            return not self._virt_dead(rank)
         at = self._crash_clock.get(host)
         return at is not None and clock >= at
 
     def record_death(self, rank: int, clock: float) -> None:
-        self._dead_virtual.add(rank)
-        super().record_death(self.hosts[rank], clock)
+        self._record_virt_death(rank)
+        self._record_host_death(self.hosts[rank], clock)
 
     def is_dead(self, rank: int) -> bool:
-        return rank in self._dead_virtual
+        return self._virt_dead(rank)
 
     def death_clock(self, rank: int) -> float:
-        return self.dead[self.hosts[rank]]
+        return self._host_death_clock(self.hosts[rank])
 
     def resolve(self, src: int, dst: int, base_cost: float,
                 exchange: bool = False) -> Delivery:
@@ -122,10 +130,10 @@ class SupervisedFaultState(FaultState):
             extra = 0.0
             for x, y in qdirs:
                 if self.find_relay(x, y) is None:
-                    self.timeouts.append((x, y))
+                    self._note_timeout((x, y))
                     return Delivery(extra_delay=0.0, drops=0, timed_out=True)
                 extra += base_cost  # one extra hop through the relay
-            self.rerouted += len(qdirs)
-            self.extra_delay += extra
+            self._note_reroute(len(qdirs))
+            self._charge_extra(extra)
             return Delivery(extra_delay=extra, drops=0, timed_out=False)
         return super().resolve(a, b, base_cost, exchange=exchange)

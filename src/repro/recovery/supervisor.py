@@ -12,6 +12,19 @@ After a quarantine the remaining stages are re-optimized with a
 resilience term (``MachineParams.round_penalty``) so rule-fused forms —
 fewer communication rounds, fewer fault exposures — win.
 
+On the ``"process"`` engine the supervisor additionally survives *real*
+faults: each stage attempt forks one OS process per rank into a fresh
+shared-arena epoch (:class:`~repro.parallel.backend.ProcessStageRunner`);
+a SIGKILLed or silent child surfaces as a typed
+:class:`~repro.parallel.errors.ProcessIncidentError` from the parent's
+heartbeat watchdog and is respawned from the last checkpoint with capped
+exponential backoff, up to ``RecoveryPolicy.max_respawns`` incidents per
+rank — after which the rank is declared permanently dead and
+shrink-recovery adopts its blocks onto a survivor.  If one stage keeps
+producing incidents (``process_fallback_after``), the rest of the run
+loudly degrades to the threaded engine, replaying from the latest
+checkpoint.
+
 Outcome contract (chaos-tested, ``testing/chaos.py --recover``):
 a supervised run either *completes* with per-rank values
 ``defined_equal`` to the fault-free run, or raises
@@ -44,7 +57,7 @@ __all__ = ["RecoveryResult", "supervise"]
 Link = tuple[int, int]
 
 #: engines a supervised run may execute on
-ENGINES = ("machine", "threaded")
+ENGINES = ("machine", "threaded", "process")
 
 
 @dataclass(frozen=True)
@@ -82,16 +95,24 @@ def supervise(
     engine: str = "machine",
     vectorize: bool = False,
     log: RecoveryLog | None = None,
+    spawn_hook=None,
+    hb_timeout: float | None = None,
 ) -> RecoveryResult:
     """Run ``program`` under checkpoint/restart supervision.
 
-    ``engine`` selects the execution substrate (``"machine"`` cooperative
-    or ``"threaded"`` blocking); both produce the same values and the
-    same recovery decisions for the same plan.  ``vectorize=True`` runs
-    local stages as NumPy block kernels with checkpoints taken over the
-    packed arrays (restored bit-identically); programs the kernels cannot
-    lower fall back to object mode, and resilience replanning is skipped
-    in vectorized mode (the lowered program is not rewritten mid-run).
+    ``engine`` selects the execution substrate (``"machine"``
+    cooperative, ``"threaded"`` blocking, or ``"process"`` — one real OS
+    process per rank); all produce the same values and the same recovery
+    decisions for the same plan.  ``vectorize=True`` runs local stages
+    as NumPy block kernels with checkpoints taken over the packed arrays
+    (restored bit-identically); programs the kernels cannot lower fall
+    back to object mode, and resilience replanning is skipped in
+    vectorized mode (the lowered program is not rewritten mid-run).
+
+    Process-engine only: ``spawn_hook(procs, meta)`` is invoked after
+    each attempt's children start (the chaos harness SIGKILLs real ranks
+    through it) and ``hb_timeout`` bounds the watchdog's silence
+    tolerance; both are ignored on the simulated engines.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -116,7 +137,9 @@ def supervise(
         if vprog is not None:
             try:
                 result = _supervise(vprog, vinputs, params, faults, policy,
-                                    engine, log, allow_replan=False)
+                                    engine, log, allow_replan=False,
+                                    spawn_hook=spawn_hook,
+                                    hb_timeout=hb_timeout)
             except KernelFallback:
                 log = RecoveryLog()  # replay exactly in object mode
             else:
@@ -125,12 +148,15 @@ def supervise(
                     result, values=values, digest=digest_state(values))
 
     return _supervise(program, inputs, params, faults, policy, engine, log,
-                      allow_replan=True)
+                      allow_replan=True, spawn_hook=spawn_hook,
+                      hb_timeout=hb_timeout)
 
 
 def _run_stage(engine: str, stage: Stage, blocks: Sequence[Any],
                clocks: Sequence[float], params: MachineParams,
-               fstate: SupervisedFaultState) -> SimResult:
+               fstate: SupervisedFaultState, runner=None,
+               stage_index: int = 0, attempt: int = 1,
+               log: RecoveryLog | None = None) -> SimResult:
     """Execute one stage on every rank, resuming checkpointed clocks."""
     if engine == "machine":
         def rank_fn(ctx: RankContext, x: Any):
@@ -139,6 +165,11 @@ def _run_stage(engine: str, stage: Stage, blocks: Sequence[Any],
 
         return run_spmd(rank_fn, blocks, params,
                         fault_state=fstate, initial_clocks=clocks)
+
+    if engine == "process":
+        return runner.run_stage(stage, blocks, clocks, fstate,
+                                stage_index=stage_index, attempt=attempt,
+                                log=log)
 
     from repro.mpi.threaded import ThreadedComm, threaded_spmd_run
 
@@ -183,11 +214,50 @@ def _replan(stages: list[Stage], i: int, params: MachineParams,
 
 def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
                faults: FaultPlan | None, policy: RecoveryPolicy, engine: str,
-               log: RecoveryLog, allow_replan: bool) -> RecoveryResult:
+               log: RecoveryLog, allow_replan: bool,
+               spawn_hook=None, hb_timeout: float | None = None
+               ) -> RecoveryResult:
     p = len(inputs)
     if p == 0:
         raise ValueError("cannot supervise an empty machine")
 
+    # Process engine: build the per-run stage runner (one shared arena,
+    # fresh epoch per attempt).  When the backend cannot run here, the
+    # degradation is *loud* — a "fallback" event — and the rest of the
+    # run uses the threaded engine, same values, same recovery decisions.
+    runner = None
+    if engine == "process":
+        from repro.parallel.backend import (
+            ProcessStageRunner,
+            process_fallback_reason,
+        )
+
+        reason = process_fallback_reason(p)
+        if reason is None:
+            try:
+                runner = ProcessStageRunner(params, p, hb_timeout=hb_timeout,
+                                            spawn_hook=spawn_hook)
+            except OSError as exc:
+                reason = f"shared-memory setup failed ({exc})"
+        if runner is None:
+            log.emit("fallback", stage=-1, engine="threaded", reason=reason)
+            engine = "threaded"
+
+    try:
+        return _supervise_loop(program, inputs, params, faults, policy,
+                               engine, log, allow_replan, runner)
+    finally:
+        if runner is not None:
+            runner.close()
+
+
+def _supervise_loop(program: Program, inputs: Sequence[Any],
+                    params: MachineParams, faults: FaultPlan | None,
+                    policy: RecoveryPolicy, engine: str, log: RecoveryLog,
+                    allow_replan: bool, runner) -> RecoveryResult:
+    from repro.parallel.errors import ProcessIncidentError, WorkerCrashError
+
+    p = len(inputs)
     fstate = SupervisedFaultState(faults if faults is not None else FaultPlan(), p)
     board = LinkHealthBoard(policy.quarantine_after)
     stages: list[Stage] = list(program.stages)
@@ -200,10 +270,12 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
     blocks: list[Any] = ckpt.restore_blocks()
     clocks: list[float] = list(ckpt.clocks)
     shrinks: list[tuple[int, int]] = []
+    respawns: dict[int, int] = {}  # rank -> unplanned incidents so far
     total_attempts = 0
     replays = 0
     i = 0
     attempts = 0  # attempts of the *current* stage
+    stage_incidents = 0  # unplanned process incidents of the current stage
 
     while i < len(stages):
         stage = stages[i]
@@ -212,7 +284,9 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
         total_attempts += 1
         attempts += 1
         try:
-            result = _run_stage(engine, stage, blocks, clocks, params, fstate)
+            result = _run_stage(engine, stage, blocks, clocks, params, fstate,
+                                runner=runner, stage_index=i, attempt=attempts,
+                                log=log)
         except DeadlockError as exc:
             raise UnrecoverableError(
                 "deadlock", i, "protocol deadlock cannot be replayed away"
@@ -220,6 +294,25 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
         except FaultError as exc:
             failure = exc
             result = None
+
+        # ---- unplanned process incident: account, maybe promote ----------
+        incident = isinstance(failure, ProcessIncidentError)
+        if incident:
+            stage_incidents += 1
+            victim = failure.rank
+            respawns[victim] = respawns.get(victim, 0) + 1
+            log.emit(
+                "child_exit" if isinstance(failure, WorkerCrashError)
+                else "heartbeat_miss",
+                stage=i, attempt=attempts, rank=victim,
+                exitcode=getattr(failure, "exitcode", None),
+                silence=getattr(failure, "silence", None),
+                respawns=respawns[victim],
+            )
+            if respawns[victim] > policy.max_respawns:
+                # the rank keeps dying for real: declare its host
+                # permanently dead so shrink-recovery adopts its blocks
+                fstate.record_death(victim, max(clocks))
 
         new_dead = sorted(h for h in fstate.dead if h not in known_dead)
 
@@ -234,6 +327,7 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
                      clock=max(clocks), attempt=attempts)
             i += 1
             attempts = 0
+            stage_incidents = 0
             continue
 
         # ---- failed attempt: diagnose, adapt, roll back, replay ----------
@@ -292,6 +386,18 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
         if quarantined_now and allow_replan and policy.prefer_fused_on_quarantine:
             stages = _replan(stages, i, params, policy, log)
 
+        # process engine last resort: a stage that keeps producing real
+        # incidents degrades the rest of the run to the threaded engine,
+        # loudly, replaying from the latest checkpoint
+        if runner is not None and stage_incidents >= policy.process_fallback_after:
+            log.emit("fallback", stage=i, engine="threaded",
+                     reason=(f"{stage_incidents} process incidents on one "
+                             f"stage (threshold "
+                             f"{policy.process_fallback_after})"))
+            runner.close()
+            runner = None
+            engine = "threaded"
+
         if attempts >= policy.max_stage_attempts:
             raise UnrecoverableError(
                 "retry-budget", i,
@@ -310,6 +416,12 @@ def _supervise(program: Program, inputs: Sequence[Any], params: MachineParams,
         replays += 1
         log.emit("restore", stage=i, attempt=attempts + 1, backoff=backoff,
                  from_stage=ckpt.stage, digest=ckpt.digest)
+        if incident and runner is not None:
+            # the next attempt forks the crashed rank's process anew into
+            # a fresh arena epoch, resuming the checkpointed blocks
+            log.emit("respawn", stage=i, rank=failure.rank,
+                     attempt=attempts + 1, respawns=respawns[failure.rank],
+                     backoff=backoff)
 
     time = max(clocks) if clocks else 0.0
     final_digest = digest_state(blocks)

@@ -77,9 +77,18 @@ class Outcome:
 
 def faulted_run(engine: str, program, xs: Sequence[Any],
                 params: MachineParams, plan: FaultPlan) -> Outcome:
-    """Run one engine under a plan, classifying the outcome."""
-    runner: Callable = (simulate_program if engine == "machine"
-                        else simulate_program_threaded)
+    """Run one engine under a plan, classifying the outcome.
+
+    ``"process"`` runs the plan on real forked workers (faults fire
+    inside the children; a planned crash is an actual child exit) — the
+    typed-error and agreement contracts are identical.
+    """
+    if engine == "process":
+        runner: Callable = lambda *a, **kw: simulate_program(  # noqa: E731
+            *a, engine="process", **kw)
+    else:
+        runner = (simulate_program if engine == "machine"
+                  else simulate_program_threaded)
     try:
         res = runner(program, list(xs), params, faults=plan)
     except FaultError as exc:
@@ -165,21 +174,34 @@ def _outcome_summary(label: str, outcome: Outcome) -> str:
     return f"{label:<9}: {outcome.kind} ({outcome.detail.splitlines()[0]})"
 
 
+DEFAULT_ENGINES = ("machine", "threaded")
+
+
+def _engine_flags(engines: Sequence[str]) -> str:
+    """Replay flags for a non-default engine deck."""
+    if tuple(engines) == DEFAULT_ENGINES:
+        return ""
+    return "".join(f" --engine {e}" for e in engines if e != "machine")
+
+
 def _check_plan(gp: GeneratedProgram, label: str, xs: Sequence[Any],
                 params: MachineParams, plan: FaultPlan,
                 reference: tuple[Any, ...],
                 report: ChaosReport, record, i: int, k: int,
-                case_seed: int, plan_seed: int) -> Outcome:
-    """Run one program under one plan on both engines; returns the
-    cooperative-engine outcome (for the LHS/RHS cross-check)."""
-    mach = faulted_run("machine", gp.program, xs, params, plan)
-    thr = faulted_run("threaded", gp.program, xs, params, plan)
-    report.plan_runs += 2
+                case_seed: int, plan_seed: int,
+                engines: Sequence[str] = DEFAULT_ENGINES) -> Outcome:
+    """Run one program under one plan on every engine in the deck;
+    returns the first engine's outcome (for the LHS/RHS cross-check).
+    Agreement is checked pairwise against the first engine."""
+    outcomes = [(e, faulted_run(e, gp.program, xs, params, plan))
+                for e in engines]
+    report.plan_runs += len(outcomes)
+    flags = _engine_flags(engines)
     header = (f"program  : {label}: {gp.program.pretty()}\n"
               f"inputs   : {list(xs)}  (p={len(xs)})\n"
               f"plan     : {plan.describe()}")
 
-    for engine, outcome in (("machine", mach), ("threaded", thr)):
+    for engine, outcome in outcomes:
         if outcome.ok:
             report.completed += 1
             if any(outcome.undef_mask):
@@ -190,39 +212,42 @@ def _check_plan(gp: GeneratedProgram, label: str, xs: Sequence[Any],
             record(ChaosFailure(
                 kind="typed-errors", iteration=i, plan_index=k,
                 case_seed=case_seed, plan_seed=plan_seed,
-                base_seed=report.seed,
+                base_seed=report.seed, flags=flags,
                 detail=f"{header}\n{engine} engine raised a non-fault "
                        f"error: {outcome.detail}",
             ))
 
-    agree = (mach.kind == thr.kind)
-    if agree and mach.ok:
-        agree = (mach.undef_mask == thr.undef_mask
-                 and defined_equal(mach.values, thr.values)
-                 and mach.clocks == thr.clocks)
-    if not agree:
-        record(ChaosFailure(
-            kind="engine-agreement", iteration=i, plan_index=k,
-            case_seed=case_seed, plan_seed=plan_seed, base_seed=report.seed,
-            detail=(f"{header}\n"
-                    f"{_outcome_summary('machine', mach)}\n"
-                    f"{_outcome_summary('threaded', thr)}\n"
-                    f"clocks   : machine={list(mach.clocks)} "
-                    f"threaded={list(thr.clocks)}"),
-        ))
+    first_name, first = outcomes[0]
+    for other_name, other in outcomes[1:]:
+        agree = (first.kind == other.kind)
+        if agree and first.ok:
+            agree = (first.undef_mask == other.undef_mask
+                     and defined_equal(first.values, other.values)
+                     and first.clocks == other.clocks)
+        if not agree:
+            record(ChaosFailure(
+                kind="engine-agreement", iteration=i, plan_index=k,
+                case_seed=case_seed, plan_seed=plan_seed,
+                base_seed=report.seed, flags=flags,
+                detail=(f"{header}\n"
+                        f"{_outcome_summary(first_name, first)}\n"
+                        f"{_outcome_summary(other_name, other)}\n"
+                        f"clocks   : {first_name}={list(first.clocks)} "
+                        f"{other_name}={list(other.clocks)}"),
+            ))
 
-    for engine, outcome in (("machine", mach), ("threaded", thr)):
+    for engine, outcome in outcomes:
         if outcome.ok and not defined_equal(outcome.values, reference):
             record(ChaosFailure(
                 kind="degradation", iteration=i, plan_index=k,
                 case_seed=case_seed, plan_seed=plan_seed,
-                base_seed=report.seed,
+                base_seed=report.seed, flags=flags,
                 detail=(f"{header}\n"
                         f"{engine} returned a defined-but-wrong block:\n"
                         f"faulted  : {list(outcome.values)}\n"
                         f"reference: {list(reference)}"),
             ))
-    return mach
+    return first
 
 
 def run_chaos(
@@ -232,9 +257,16 @@ def run_chaos(
     rules: Iterable[Rule] = ALL_RULES,
     machine_sizes: Sequence[int] = (2, 3, 4, 5, 8),
     max_failures: int = 5,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> ChaosReport:
-    """Run ``iters`` chaos cases; stop early after ``max_failures``."""
+    """Run ``iters`` chaos cases; stop early after ``max_failures``.
+
+    ``engines`` is the comparison deck: every plan runs on each engine
+    and all outcomes must agree with the first (the reference).  Add
+    ``"process"`` to stress real forked workers under the same plans.
+    """
     rules = tuple(rules)
+    engines = tuple(engines)
     report = ChaosReport(seed=seed, iters=iters,
                          plans_per_case=plans_per_case)
     seen: set[tuple[str, str]] = set()
@@ -276,17 +308,18 @@ def run_chaos(
             plan_seed = case_seed * 7919 + k
             plan = FaultPlan.sample(plan_seed, n, horizon=ref.time)
             lhs = _check_plan(gp, "original", xs, params, plan, ref.values,
-                              report, record, i, k, case_seed, plan_seed)
+                              report, record, i, k, case_seed, plan_seed,
+                              engines=engines)
             if optimized is not None:
                 rhs = _check_plan(optimized, "optimized", xs, params, plan,
                                   opt_ref.values, report, record, i, k,
-                                  case_seed, plan_seed)
+                                  case_seed, plan_seed, engines=engines)
                 if lhs.ok and rhs.ok and not defined_equal(lhs.values,
                                                            rhs.values):
                     record(ChaosFailure(
                         kind="optimized", iteration=i, plan_index=k,
                         case_seed=case_seed, plan_seed=plan_seed,
-                        base_seed=seed,
+                        base_seed=seed, flags=_engine_flags(engines),
                         detail=(f"plan     : {plan.describe()}\n"
                                 f"original : {list(lhs.values)}\n"
                                 f"optimized: {list(rhs.values)}\n"
@@ -342,6 +375,7 @@ def run_chaos_recovery(
     machine_sizes: Sequence[int] = (2, 3, 4, 5, 8),
     max_failures: int = 5,
     policy=None,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> ChaosReport:
     """Chaos with the recovery runtime in the loop (``--chaos --recover``).
 
@@ -354,8 +388,12 @@ def run_chaos_recovery(
     exhausted policy.  Never a hang, never defined-but-wrong.  Both
     engines must agree on the outcome kind and, when recovered, on every
     block (virtual times and attempt counts may differ — the engines can
-    observe simultaneous faults in different orders).
+    observe simultaneous faults in different orders).  ``engines`` is the
+    comparison deck (first entry is the reference); add ``"process"`` to
+    run supervision over real forked workers.
     """
+    engines = tuple(engines)
+    flags = " --recover" + _engine_flags(engines)
     report = ChaosReport(seed=seed, iters=iters,
                          plans_per_case=plans_per_case, recover=True)
     seen: set[tuple[str, str]] = set()
@@ -389,13 +427,12 @@ def run_chaos_recovery(
                       f"inputs   : {list(xs)}  (p={n})\n"
                       f"plan     : {plan.describe()}")
 
-            mach = recovered_run("machine", gp.program, xs, params, plan,
-                                 policy=policy)
-            thr = recovered_run("threaded", gp.program, xs, params, plan,
-                                policy=policy)
-            report.plan_runs += 2
+            outcomes = [(e, recovered_run(e, gp.program, xs, params, plan,
+                                          policy=policy))
+                        for e in engines]
+            report.plan_runs += len(outcomes)
 
-            for engine, outcome in (("machine", mach), ("threaded", thr)):
+            for engine, outcome in outcomes:
                 if outcome.ok:
                     report.completed += 1
                     if any(outcome.undef_mask):
@@ -407,7 +444,7 @@ def run_chaos_recovery(
                     record(ChaosFailure(
                         kind="typed-errors", iteration=i, plan_index=k,
                         case_seed=case_seed, plan_seed=plan_seed,
-                        base_seed=seed, flags=" --recover",
+                        base_seed=seed, flags=flags,
                         detail=f"{header}\n{engine} supervision leaked "
                                f"{outcome.kind}: {outcome.detail}",
                     ))
@@ -419,26 +456,28 @@ def run_chaos_recovery(
                     record(ChaosFailure(
                         kind="recovery", iteration=i, plan_index=k,
                         case_seed=case_seed, plan_seed=plan_seed,
-                        base_seed=seed, flags=" --recover",
+                        base_seed=seed, flags=flags,
                         detail=(f"{header}\n"
                                 f"{engine} recovered to wrong values:\n"
                                 f"recovered: {list(outcome.values)}\n"
                                 f"reference: {list(ref.values)}"),
                     ))
 
-            agree = mach.kind == thr.kind
-            if agree and mach.ok:
-                agree = (mach.undef_mask == thr.undef_mask
-                         and defined_equal(mach.values, thr.values))
-            if not agree:
-                record(ChaosFailure(
-                    kind="engine-agreement", iteration=i, plan_index=k,
-                    case_seed=case_seed, plan_seed=plan_seed,
-                    base_seed=seed, flags=" --recover",
-                    detail=(f"{header}\n"
-                            f"{_outcome_summary('machine', mach)}\n"
-                            f"{_outcome_summary('threaded', thr)}"),
-                ))
+            first_name, first = outcomes[0]
+            for other_name, other in outcomes[1:]:
+                agree = first.kind == other.kind
+                if agree and first.ok:
+                    agree = (first.undef_mask == other.undef_mask
+                             and defined_equal(first.values, other.values))
+                if not agree:
+                    record(ChaosFailure(
+                        kind="engine-agreement", iteration=i, plan_index=k,
+                        case_seed=case_seed, plan_seed=plan_seed,
+                        base_seed=seed, flags=flags,
+                        detail=(f"{header}\n"
+                                f"{_outcome_summary(first_name, first)}\n"
+                                f"{_outcome_summary(other_name, other)}"),
+                    ))
 
         if len(report.failures) >= max_failures:
             break

@@ -9,6 +9,7 @@ through the shared-memory rings.
 from __future__ import annotations
 
 import logging
+import os
 
 import numpy as np
 import pytest
@@ -238,12 +239,25 @@ class TestFallback:
         assert any("falling back to the threaded engine" in r.message
                    for r in caplog.records)
 
-    def test_fault_plans_fall_back(self, caplog):
+    def test_fault_plans_no_longer_fall_back(self):
+        # fault injection used to be engine-local state; it now runs on
+        # real processes through the shared-arena fault cells
         from repro.faults import FaultPlan, LinkFault
 
         plan = FaultPlan(link_faults=(LinkFault(src=0, dst=1),))
-        reason = process_fallback_reason(2, faults=plan)
-        assert reason is not None and "fault" in reason
+        assert process_fallback_reason(2, faults=plan) == \
+            process_fallback_reason(2)
+
+    def test_single_core_host_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_FORCE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        reason = process_fallback_reason(2)
+        assert reason is not None and "single-core" in reason
+
+    def test_single_core_force_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert process_fallback_reason(2) is None
 
     def test_fallback_reason_none_when_available(self):
         if process_backend_available(2):
