@@ -35,6 +35,15 @@ Subcommands
     cached plan without planning on a miss, ``stats`` prints the
     hit/miss counters, ``clear`` empties the store (default store:
     ``.repro-plancache.json``).
+``jit ACTION [FILE]``
+    The whole-program JIT tier: ``stats`` prints compile-cache and
+    kernel-dispatch counters (with a program file, compiles and
+    demo-runs it first, showing which steps run as raw fused kernels),
+    ``clear`` drops the compile cache and resets the counters.
+``bench summary``
+    Aggregate ``benchmarks/results/BENCH_*.json`` into top-level
+    ``BENCH_*.json`` files (host metadata stamped) and print the
+    headline table — the in-repo perf trajectory.
 ``faults demo``
     Deterministic walkthrough of the fault-injection layer: retry
     recovery, dead-link timeouts, crash degradation, engine agreement.
@@ -189,11 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "checkpoint/restart supervisor and check the "
                            "recovery contract (see docs/FAULTS.md)")
     p_cf.add_argument("--engine", action="append", dest="engines",
-                      choices=("machine", "threaded", "process"),
+                      choices=("machine", "threaded", "process", "jit"),
                       metavar="ENGINE",
                       help="with --chaos: add an engine to the comparison "
                            "deck (repeatable; default machine+threaded; "
-                           "'machine' is always included as the reference)")
+                           "'machine' is always included as the reference; "
+                           "'jit' is the cooperative engine with the "
+                           "raw-kernel swap)")
 
     p_pl = subs.add_parser(
         "plan",
@@ -221,6 +232,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_pl.add_argument("--extensions", action="store_true",
                       help="enable the extension rules")
     p_pl.add_argument("--modulus", type=int, default=None)
+
+    p_jt = subs.add_parser(
+        "jit",
+        help="whole-program JIT tier (stats/clear)")
+    p_jt.add_argument("action", choices=("stats", "clear"),
+                      help="'stats': print compile-cache and dispatch "
+                           "counters (with FILE: compile + demo-run the "
+                           "program first and show its compiled plan); "
+                           "'clear': drop compiled kernels and reset "
+                           "counters")
+    p_jt.add_argument("file", nargs="?", default=None,
+                      help="optional program file (repro.lang syntax), "
+                           "or - for stdin")
+    _add_machine_args(p_jt)
+    p_jt.add_argument("--modulus", type=int, default=None)
+
+    p_bn = subs.add_parser(
+        "bench",
+        help="benchmark result tooling (summary)")
+    p_bn.add_argument("action", choices=("summary",),
+                      help="'summary': aggregate benchmarks/results/"
+                           "BENCH_*.json into top-level BENCH_*.json files "
+                           "with host metadata and print the headline table")
+    p_bn.add_argument("--results", default="benchmarks/results",
+                      metavar="DIR",
+                      help="where the per-bench JSON files live "
+                           "(default benchmarks/results)")
+    p_bn.add_argument("--out", default=".", metavar="DIR",
+                      help="where to write the aggregated top-level "
+                           "BENCH_*.json files (default .)")
 
     p_fl = subs.add_parser("faults",
                            help="fault-injection layer utilities")
@@ -492,6 +533,95 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_jit(args: argparse.Namespace) -> int:
+    from repro.jit import STATS, clear_jit_cache, compiled_program, \
+        reset_stats, run_jit
+    from repro.kernels import KernelUnsupported
+
+    if args.action == "clear":
+        clear_jit_cache()
+        reset_stats()
+        print("cleared the JIT compile cache and stats")
+        return 0
+
+    if args.file is not None:
+        import numpy as np
+
+        try:
+            program = _load_program(args)
+        except (ParseError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        params = _machine(args)
+        try:
+            cp = compiled_program(program)
+        except KernelUnsupported as exc:
+            print(f"not JIT-compilable (static skip): {exc}")
+        else:
+            print("compiled plan ('jit' steps run raw fused kernels, "
+                  "'kern' steps the checked fallback):")
+            print(cp.pretty())
+            rng = np.random.default_rng(0)
+            xs = [rng.integers(0, 4, params.m).astype(np.int64)
+                  for _ in range(params.p)]
+            run_jit(program, xs)
+            print(f"\ndemo run: p={params.p}, block={params.m} int64")
+        print()
+    print(STATS.describe())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import pathlib
+    import platform
+
+    results = pathlib.Path(args.results)
+    out = pathlib.Path(args.out)
+    files = sorted(results.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files under {results}", file=sys.stderr)
+        return 1
+    out.mkdir(parents=True, exist_ok=True)
+    host = {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    rows = []
+    for f in files:
+        try:
+            payload = json.loads(f.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"skipping {f.name}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(payload, dict) and "host" not in payload:
+            payload = {"host": host, **payload}
+        (out / f.name).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        headline = ""
+        if isinstance(payload, dict):
+            for key in ("speedup", "overhead", "hit_rate"):
+                if key in payload:
+                    headline = f"{key}={payload[key]:.2f}" \
+                        if isinstance(payload[key], float) \
+                        else f"{key}={payload[key]}"
+                    break
+            n = len(payload.get("series", []) or [])
+            cpu = (payload.get("host") or {}).get("cpu_count")
+            detail = f"series={n} host_cpus={cpu}"
+        else:
+            detail = "-"
+        rows.append((f.name, headline, detail))
+    width = max(len(r[0]) for r in rows)
+    print(f"aggregated {len(rows)} benchmark file(s) -> {out}/")
+    for name, headline, detail in rows:
+        print(f"  {name:{width}}  {headline:16} {detail}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.demo import run_demo
 
@@ -550,6 +680,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_conformance(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "jit":
+        return _cmd_jit(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "recover":

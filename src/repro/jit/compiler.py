@@ -1,0 +1,828 @@
+"""The JIT compiler: fused vector plans -> composed raw-ufunc kernels.
+
+Input is the same :class:`~repro.kernels.evaluator.VectorPlan` the
+vectorized tier executes (``map pair ; reduce(op_sr2) ; map π₁``
+sandwiches grouped into fused-collective steps).  Each supported step is
+compiled to a closure that runs the *whole local segment* as one unit:
+
+* the combine of a scan/reduce/allreduce is flattened to a **tape** of
+  raw ufunc instructions over flat value slots (an SR2 combine is three
+  ``np.add``/``np.multiply`` calls, not three checked kernels with two
+  bounds reductions each);
+* pre-adjustment maps (``pair``) are symbolic — a pair leaf is two
+  *views* of the same chunk, never a materialized tuple block;
+* post-projections (``π₁``) are applied to the tape's output refs, so
+  only the projected slot is ever written to the output array;
+* the per-rank fold loop runs **chunked** (`core.cost.pipeline_chunk_count`
+  sizes the chunks) through two ping-pong scratch-buffer sets, so every
+  intermediate stays in cache-resident scratch memory — no per-combine
+  allocation, no intermediate block materialization;
+* overflow guards are gone entirely: :mod:`repro.jit.bounds` proves at
+  run time (one min/max pass per input plus exact bigint interval
+  propagation) that no intermediate can leave the int64-safe range.
+
+Anything the compiler cannot prove or lower falls back *per step* to
+the checked kernelized ``PlanStep.run`` — bit-identical by construction
+— and every fallback bumps a reason counter in :mod:`repro.jit.stats`.
+
+The module also provides :func:`engine_lower` for the simulated engines:
+an all-or-nothing swap of checked kernels for raw ones inside a
+kernelized program, preserving every ``op_count``/``ops_per_element``
+cost annotation so simulated time is identical — JIT changes wall-clock
+only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost import MachineParams, pipeline_chunk_count
+from repro.core.operators import BinOp
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+    Stage,
+)
+from repro.kernels.blocks import is_vector_block, vectorize_block
+from repro.kernels.evaluator import PlanStep, VectorPlan, build_plan
+from repro.kernels.lowering import vectorize_program
+from repro.kernels.registry import registry_version
+from repro.semantics.functional import UNDEF
+
+from .bounds import analyze_stages, slot_count
+from .errors import JitUnsupported
+from .numba_backend import fold_kernel
+from .stats import STATS
+
+__all__ = [
+    "CombineTape",
+    "MapTape",
+    "CompiledProgram",
+    "compiled_program",
+    "engine_lower",
+    "clear_jit_cache",
+    "DEFAULT_LOCAL_PARAMS",
+]
+
+#: raw (unchecked) ufuncs for scalar BinOps — bit-identical to the
+#: checked kernels whenever the bounds analysis proves safety
+_RAW_BINOPS: dict[str, Any] = {
+    "add": np.add,
+    "fadd": np.add,
+    "mul": np.multiply,
+    "fmul": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+#: raw unary map parts: label -> (ufunc, second operand or None)
+_RAW_UNARY: dict[str, tuple[Any, Optional[int]]] = {
+    "inc": (np.add, 1),
+    "dbl": (np.multiply, 2),
+    "neg": (np.negative, None),
+}
+
+_REPLICATE = {"pair": 2, "triple": 3, "quadruple": 4}
+
+#: chunking model for local compute: ts plays the per-ufunc-dispatch
+#: overhead, tw the per-element cost.  At 1M elements this yields ~32
+#: chunks (~256 KiB of scratch per buffer set — cache resident).
+DEFAULT_LOCAL_PARAMS = MachineParams(p=1, ts=2048.0, tw=1.0, m=1)
+
+_MIN_CHUNK = 1024
+
+#: dtypes the raw tapes accept: the only ones where raw and checked
+#: kernels (and their scalar promotions) agree bit-for-bit
+_OK_DTYPES = (np.dtype(np.int64), np.dtype(np.float64))
+
+
+# ---------------------------------------------------------------------------
+# Tapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CombineTape:
+    """One ``op(acc, rhs)`` combine as straight-line raw ufunc code.
+
+    Instructions are ``(ufunc, src_a, src_b, dst)`` where sources are
+    ``("a", i)`` acc slot, ``("b", i)`` rhs slot, or ``("t", j)`` the
+    result of instruction ``j``; ``dst`` is always a fresh scratch index
+    (one per instruction).  ``out`` names the refs forming the combined
+    value's flat slots.
+    """
+
+    slots: int
+    instrs: tuple[tuple[Any, tuple[str, int], tuple[str, int], int], ...]
+    out: tuple[tuple[str, int], ...]
+
+
+def emit_combine(op: BinOp) -> CombineTape:
+    """Flatten ``op`` to a :class:`CombineTape` (or raise JitUnsupported)."""
+    n = slot_count(op)
+    if n is None:
+        raise JitUnsupported(f"no raw kernel for op {op.name!r}")
+    instrs: list[tuple[Any, tuple[str, int], tuple[str, int], int]] = []
+
+    def emit(op: BinOp, a: list, b: list) -> list:
+        u = _RAW_BINOPS.get(op.name)
+        if u is not None:
+            dst = len(instrs)
+            instrs.append((u, a[0], b[0], dst))
+            return [("t", dst)]
+        kind = getattr(op, "kind", "")
+        parts = getattr(op, "parts", ())
+        if kind == "ew" and parts:
+            return emit(parts[0], a, b)
+        if kind == "sr2" and len(parts) == 2:
+            otimes, oplus = parts
+            t = emit(otimes, [a[1]], [b[0]])  # otimes(r1, s2)
+            s = emit(oplus, [a[0]], t)
+            r = emit(otimes, [a[1]], [b[1]])
+            return s + r
+        if kind == "product" and parts:
+            out: list = []
+            lo = 0
+            for part in parts:
+                c = slot_count(part)
+                assert c is not None  # guaranteed by slot_count(op) above
+                out.extend(emit(part, a[lo : lo + c], b[lo : lo + c]))
+                lo += c
+            return out
+        raise JitUnsupported(f"no raw kernel for op {op.name!r}")
+
+    out = emit(op, [("a", i) for i in range(n)], [("b", i) for i in range(n)])
+    return CombineTape(slots=n, instrs=tuple(instrs), out=tuple(out))
+
+
+@dataclass(frozen=True)
+class MapTape:
+    """A (possibly ``;``-fused) map label as slot shuffling + raw ufuncs.
+
+    ``instrs`` are ``(ufunc, src, const)``; instruction ``j`` writes
+    scratch slot ``j``.  ``out`` refs are ``("i", k)`` input slot or
+    ``("t", j)`` scratch — replication (``pair``) and projection
+    (``π₁``) are pure ref manipulation, no data movement.
+    """
+
+    in_slots: int
+    instrs: tuple[tuple[Any, tuple[str, int], Optional[int]], ...]
+    out: tuple[tuple[str, int], ...]
+
+
+def emit_map(label: str, in_slots: int) -> MapTape:
+    refs: list[tuple[str, int]] = [("i", k) for k in range(in_slots)]
+    instrs: list[tuple[Any, tuple[str, int], Optional[int]]] = []
+    for part in label.split(";"):
+        if part in _REPLICATE:
+            if len(refs) != 1:
+                raise JitUnsupported(f"{part} needs a scalar slot")
+            refs = refs * _REPLICATE[part]
+        elif part == "pi_1":
+            if len(refs) < 2:
+                raise JitUnsupported("pi_1 needs a tuple block")
+            refs = [refs[0]]
+        elif part in _RAW_UNARY:
+            if len(refs) != 1:
+                raise JitUnsupported(f"{part} needs a scalar slot")
+            u, const = _RAW_UNARY[part]
+            instrs.append((u, refs[0], const))
+            refs = [("t", len(instrs) - 1)]
+        else:
+            raise JitUnsupported(f"no raw kernel for map {part!r}")
+    return MapTape(in_slots=in_slots, instrs=tuple(instrs), out=tuple(refs))
+
+
+def _run_map_tape(tape: MapTape, slots: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Whole-array tape application (allocating — for local/bcast steps)."""
+    tmps: list[np.ndarray] = []
+
+    def res(ref: tuple[str, int]) -> np.ndarray:
+        return slots[ref[1]] if ref[0] == "i" else tmps[ref[1]]
+
+    for u, src, const in tape.instrs:
+        tmps.append(u(res(src)) if const is None else u(res(src), const))
+    return [res(r) for r in tape.out]
+
+
+# ---------------------------------------------------------------------------
+# Runtime block conformance
+# ---------------------------------------------------------------------------
+
+
+def _block_slots(block: Any, n: int) -> Optional[list[np.ndarray]]:
+    """Flat slot arrays of a defined block, or None if it doesn't match."""
+    if n == 1:
+        if isinstance(block, np.ndarray):
+            return [block]
+        if isinstance(block, np.generic):
+            return [np.asarray(block)]
+        return None
+    if not isinstance(block, tuple) or len(block) != n:
+        return None
+    out = []
+    for comp in block:
+        if isinstance(comp, np.ndarray):
+            out.append(comp)
+        elif isinstance(comp, np.generic):
+            out.append(np.asarray(comp))
+        else:
+            return None  # UNDEF hole or nested tuple
+    return out
+
+
+def _conform(blocks: Sequence[Any], n: int) -> Optional[list[list[np.ndarray]]]:
+    """Slot arrays per rank iff *all* blocks are defined, same-shaped
+    1-D/0-D arrays of one raw-safe dtype.  None -> kernelized fallback."""
+    rows: list[list[np.ndarray]] = []
+    shape: Optional[tuple] = None
+    dtype = None
+    for b in blocks:
+        slots = _block_slots(b, n)
+        if slots is None:
+            return None
+        for a in slots:
+            if a.ndim > 1 or a.dtype not in _OK_DTYPES:
+                return None
+            if shape is None:
+                shape, dtype = a.shape, a.dtype
+            elif a.shape != shape or a.dtype != dtype:
+                return None
+        rows.append(slots)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Chunked fold/scan execution
+# ---------------------------------------------------------------------------
+
+
+def _chunk_slices(shape: tuple, params: MachineParams) -> list:
+    """Chunk index ranges (None = the whole 0-d array)."""
+    if len(shape) == 0:
+        return [None]
+    n = shape[0]
+    if n <= 2 * _MIN_CHUNK:
+        return [slice(0, n)]
+    chunks = pipeline_chunk_count(params, n, depth=3)
+    chunks = max(1, min(chunks, n // _MIN_CHUNK))
+    step = -(-n // chunks)
+    return [slice(i, min(i + step, n)) for i in range(0, n, step)]
+
+
+class _Scratch:
+    """A set of chunk-sized scratch buffers handed out as length-L views."""
+
+    def __init__(self, count: int, max_len: Optional[int], dtype) -> None:
+        shape = () if max_len is None else (max_len,)
+        self.bufs = [np.empty(shape, dtype) for _ in range(count)]
+
+    def views(self, length: Optional[int]) -> list[np.ndarray]:
+        if length is None:
+            return self.bufs
+        return [b[:length] for b in self.bufs]
+
+
+def _run_combine(
+    tape: CombineTape,
+    acc: Sequence[np.ndarray],
+    rhs: Sequence[np.ndarray],
+    tmps: Sequence[np.ndarray],
+) -> list[np.ndarray]:
+    def res(ref: tuple[str, int]) -> np.ndarray:
+        tag, i = ref
+        if tag == "a":
+            return acc[i]
+        if tag == "b":
+            return rhs[i]
+        return tmps[i]
+
+    for u, sa, sb, dst in tape.instrs:
+        u(res(sa), res(sb), out=tmps[dst])
+    return [res(r) for r in tape.out]
+
+
+def _run_map_chunk(
+    tape: MapTape, slots: Sequence[np.ndarray], tmps: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    def res(ref: tuple[str, int]) -> np.ndarray:
+        return slots[ref[1]] if ref[0] == "i" else tmps[ref[1]]
+
+    for j, (u, src, const) in enumerate(tape.instrs):
+        if const is None:
+            u(res(src), out=tmps[j])
+        else:
+            u(res(src), const, out=tmps[j])
+    return [res(r) for r in tape.out]
+
+
+# ---------------------------------------------------------------------------
+# Step compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledStep:
+    """A plan step plus its compiled closure (None -> always kernelized).
+
+    The closure returns the output block list, or None when the runtime
+    blocks don't conform — the caller then runs the checked
+    ``plan_step.run`` instead (bit-identical, just slower).
+    """
+
+    plan_step: PlanStep
+    compiled: Optional[Callable[[list], Optional[list]]]
+    reason: str = ""
+    covered: int = 0
+
+
+class _TapeMemo:
+    """Per-step memo of map tapes keyed by the observed input arity."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.tapes: dict[int, Optional[MapTape]] = {}
+
+    def get(self, in_slots: int) -> Optional[MapTape]:
+        if in_slots not in self.tapes:
+            try:
+                self.tapes[in_slots] = emit_map(self.label, in_slots)
+            except JitUnsupported:
+                self.tapes[in_slots] = None
+        return self.tapes[in_slots]
+
+
+def _compile_local(step: PlanStep) -> Optional[CompiledStep]:
+    (stage,) = step.stages
+    if not isinstance(stage, MapStage):
+        return None
+    memo = _TapeMemo(stage.label)
+
+    def run(data: list) -> Optional[list]:
+        out: list = []
+        for b in data:
+            if b is UNDEF:
+                out.append(UNDEF)
+                continue
+            arity = len(b) if isinstance(b, tuple) else 1
+            tape = memo.get(arity)
+            if tape is None:
+                return None
+            row = _conform([b], arity)
+            if row is None:
+                return None
+            vals = _run_map_tape(tape, row[0])
+            out.append(vals[0] if len(vals) == 1 else tuple(vals))
+        return out
+
+    return CompiledStep(step, run, covered=len(step.stages))
+
+
+def _split_sandwich(
+    step: PlanStep,
+) -> tuple[Optional[MapStage], Stage, Optional[MapStage]]:
+    stages = list(step.stages)
+    pre = post = None
+    if len(stages) > 1 and isinstance(stages[0], MapStage):
+        pre = stages.pop(0)
+    if len(stages) > 1 and isinstance(stages[-1], MapStage):
+        post = stages.pop()
+    (coll,) = stages
+    return pre, coll, post
+
+
+def _compile_bcast(
+    step: PlanStep, pre: Optional[MapStage], post: Optional[MapStage]
+) -> Optional[CompiledStep]:
+    labels = [s.label for s in (pre, post) if s is not None]
+
+    def run(data: list) -> Optional[list]:
+        if not data:
+            return None
+        root = data[0]
+        for label in labels:
+            if root is UNDEF:
+                break
+            arity = len(root) if isinstance(root, tuple) else 1
+            try:
+                tape = emit_map(label, arity)
+            except JitUnsupported:
+                return None
+            row = _conform([root], arity)
+            if row is None:
+                return None
+            vals = _run_map_tape(tape, row[0])
+            root = vals[0] if len(vals) == 1 else tuple(vals)
+        return [root] * len(data)
+
+    return CompiledStep(step, run, covered=len(step.stages))
+
+
+def _compile_fold(step: PlanStep, params: MachineParams) -> Optional[CompiledStep]:
+    """Compile a scan/reduce/allreduce (with optional pre/post maps)."""
+    pre, coll, post = _split_sandwich(step)
+    if isinstance(coll, BcastStage):
+        return _compile_bcast(step, pre, post)
+    if not isinstance(coll, (ScanStage, ReduceStage, AllReduceStage)):
+        return None
+    try:
+        tape = emit_combine(coll.op)
+        pre_tape = emit_map(pre.label, 1) if pre is not None else None
+        if pre_tape is not None and len(pre_tape.out) != tape.slots:
+            return None
+        post_tape = emit_map(post.label, tape.slots) if post is not None else None
+    except JitUnsupported:
+        return None
+    n_in = 1 if pre_tape is not None else tape.slots
+    out_refs = post_tape.out if post_tape is not None else tuple(
+        ("i", k) for k in range(tape.slots)
+    )
+    out_n = len(out_refs)
+    is_scan = isinstance(coll, ScanStage)
+    is_reduce = isinstance(coll, ReduceStage)
+    # plain scalar reduce/allreduce may additionally go through the
+    # opt-in numba fold (same left-fold order: bit-identical)
+    numba_name = (
+        coll.op.name
+        if not is_scan and tape.slots == 1 and len(tape.instrs) == 1
+        and pre_tape is None and post_tape is None
+        else None
+    )
+
+    def _wrap(blocks: list, p: int) -> list:
+        if is_scan:
+            return blocks
+        if is_reduce:
+            return blocks + [UNDEF] * (p - 1)
+        return blocks * p  # allreduce: same block object on every rank
+
+    def run(data: list) -> Optional[list]:
+        rows = _conform(data, n_in)
+        if not rows:
+            return None
+        p = len(rows)
+        ref = rows[0][0]
+        shape, dtype = ref.shape, ref.dtype
+        if numba_name is not None and len(shape) == 1 and p > 1:
+            kern = fold_kernel(numba_name)
+            if kern is not None:
+                try:
+                    out_arr = np.empty(shape, dtype)
+                    kern(np.stack([r[0] for r in rows]), out_arr)
+                except Exception:
+                    pass  # never fail: use the ufunc tape below
+                else:
+                    return _wrap([out_arr], p)
+        slices = _chunk_slices(shape, params)
+        max_len = None if not slices or slices[0] is None else (
+            slices[0].stop - slices[0].start
+        )
+        n_ranks_out = p if is_scan else 1
+        outs = [
+            [np.empty(shape, dtype) for _ in range(out_n)]
+            for _ in range(n_ranks_out)
+        ]
+        pre_scratch = [
+            _Scratch(len(pre_tape.instrs), max_len, dtype) for _ in range(2)
+        ] if pre_tape is not None else None
+        cmb_scratch = [_Scratch(len(tape.instrs), max_len, dtype) for _ in range(2)]
+        post_scratch = (
+            _Scratch(len(post_tape.instrs), max_len, dtype)
+            if post_tape is not None
+            else None
+        )
+
+        for sl in slices:
+            length = None if sl is None else sl.stop - sl.start
+
+            def leaf(i: int, parity: int) -> list[np.ndarray]:
+                views = [a if sl is None else a[sl] for a in rows[i]]
+                if pre_tape is None:
+                    return views
+                return _run_map_chunk(
+                    pre_tape, views, pre_scratch[parity].views(length)
+                )
+
+            def write(rank: int, slots: Sequence[np.ndarray]) -> None:
+                if post_tape is not None:
+                    slots = _run_map_chunk(
+                        post_tape, slots, post_scratch.views(length)
+                    )
+                for j, a in enumerate(slots):
+                    if sl is None:
+                        outs[rank][j][...] = a
+                    else:
+                        outs[rank][j][sl] = a
+
+            acc = leaf(0, 0)
+            if is_scan:
+                write(0, acc)
+            for i in range(1, p):
+                rhs = leaf(i, i % 2)
+                acc = _run_combine(tape, acc, rhs, cmb_scratch[i % 2].views(length))
+                if is_scan:
+                    write(i, acc)
+            if not is_scan:
+                write(0, acc)
+
+        blocks = [s[0] if out_n == 1 else tuple(s) for s in outs]
+        return _wrap(blocks, p)
+
+    return CompiledStep(step, run, covered=len(step.stages))
+
+
+def _compile_step(step: PlanStep, params: MachineParams) -> CompiledStep:
+    compiled: Optional[CompiledStep] = None
+    if step.kind == "local":
+        compiled = _compile_local(step)
+    elif step.kind in ("collective", "fused-collective"):
+        compiled = _compile_fold(step, params)
+    if compiled is not None:
+        return compiled
+    return CompiledStep(step, None, reason=f"uncompiled:{step.label}")
+
+
+# ---------------------------------------------------------------------------
+# Whole-program compilation + bounds gate
+# ---------------------------------------------------------------------------
+
+
+def _input_profile(vec: Sequence[Any]) -> tuple[str, tuple[int, int]]:
+    """(dtype regime, int interval hull) over all defined input arrays."""
+    kinds: set[str] = set()
+    lo, hi = 0, 0
+    seen_vals = False
+    for b in vec:
+        comps = b if isinstance(b, tuple) else (b,)
+        for a in comps:
+            if not isinstance(a, (np.ndarray, np.generic)):
+                continue
+            a = np.asarray(a)
+            if a.dtype not in _OK_DTYPES:
+                return "other", (0, 0)
+            kinds.add(a.dtype.kind)
+            if a.dtype.kind == "i" and a.size:
+                alo, ahi = int(a.min()), int(a.max())
+                if seen_vals:
+                    lo, hi = min(lo, alo), max(hi, ahi)
+                else:
+                    lo, hi, seen_vals = alo, ahi, True
+    if not kinds:
+        return "empty", (0, 0)
+    if kinds == {"f"}:
+        return "float", (0, 0)
+    if kinds == {"i"}:
+        return "int", (lo, hi)
+    return "other", (0, 0)
+
+
+def _proven_safe(stages: Sequence[Stage], vec: Sequence[Any]) -> tuple[bool, str]:
+    """One static range check per program: may every guard be dropped?"""
+    regime, iv = _input_profile(vec)
+    if regime in ("float", "empty"):
+        return True, ""
+    if regime == "int":
+        if analyze_stages(stages, iv, max(len(vec), 1)):
+            return True, ""
+        return False, "bounds-unproven"
+    return False, "dtype-unproven"
+
+
+class CompiledProgram:
+    """A vector plan with compiled closures for every supported step."""
+
+    def __init__(self, plan: VectorPlan, params: MachineParams) -> None:
+        self.plan = plan
+        self.params = params
+        self.steps = [_compile_step(s, params) for s in plan.steps]
+        self.fused_stages = sum(
+            s.covered for s in self.steps if s.compiled is not None
+        )
+
+    def pretty(self) -> str:
+        lines = []
+        for s in self.steps:
+            tag = "jit " if s.compiled is not None else "kern"
+            lines.append(f"[{tag}] {s.plan_step.pretty()}")
+        return "\n".join(lines)
+
+    def run(self, vec: Sequence[Any]) -> list:
+        """Execute on vectorized blocks; bit-identical to ``plan.run``.
+
+        May raise :class:`~repro.kernels.blocks.KernelOverflow` from a
+        kernelized fallback step — callers replay in object mode.
+        """
+        proven, why = _proven_safe(self.plan.program.stages, vec)
+        if not proven:
+            STATS.fallbacks[why] += 1
+        data = list(vec)
+        full = True
+        for st in self.steps:
+            out = None
+            if proven and st.compiled is not None:
+                out = st.compiled(data)
+                if out is None:
+                    STATS.fallbacks["runtime-shape"] += 1
+            elif st.compiled is None:
+                STATS.fallbacks[st.reason] += 1
+            if out is None:
+                out = st.plan_step.run(data)
+                STATS.kernelized_steps += 1
+                full = False
+            else:
+                STATS.compiled_steps += 1
+            data = out
+        if full and self.steps:
+            STATS.full_jit_runs += 1
+        return data
+
+
+# ---------------------------------------------------------------------------
+# Compile cache (reset via clear_planner_caches)
+# ---------------------------------------------------------------------------
+
+_CACHE_MAX = 256
+_COMPILE_CACHE: OrderedDict = OrderedDict()
+_ENGINE_CACHE: OrderedDict = OrderedDict()
+
+
+def clear_jit_cache() -> None:
+    """Drop every compiled program (both evaluator- and engine-level)."""
+    _COMPILE_CACHE.clear()
+    _ENGINE_CACHE.clear()
+
+
+def _cache_get(cache: OrderedDict, key: Any) -> Any:
+    try:
+        entry = cache[key]
+    except (KeyError, TypeError):  # TypeError: unhashable program part
+        return None
+    cache.move_to_end(key)
+    return entry
+
+
+def _cache_put(cache: OrderedDict, key: Any, entry: Any) -> None:
+    try:
+        cache[key] = entry
+    except TypeError:
+        return
+    while len(cache) > _CACHE_MAX:
+        cache.popitem(last=False)
+
+
+def compiled_program(
+    program: Program, params: Optional[MachineParams] = None
+) -> CompiledProgram:
+    """Compile (or fetch from cache) the JIT plan for ``program``.
+
+    Raises :class:`~repro.kernels.blocks.KernelUnsupported` when the
+    program cannot even be kernelized — the static skip.  The cache key
+    includes the chunking params and the kernel-registry version, so a
+    stale compile can never be served after either changes.
+    """
+    params = params if params is not None else DEFAULT_LOCAL_PARAMS
+    key = ("eval", program, params, registry_version())
+    hit = _cache_get(_COMPILE_CACHE, key)
+    if hit is not None:
+        STATS.cache_hits += 1
+        return hit
+    STATS.cache_misses += 1
+    plan = build_plan(program)  # may raise KernelUnsupported
+    cp = CompiledProgram(plan, params)
+    STATS.compiles += 1
+    STATS.fused_stages += cp.fused_stages
+    _cache_put(_COMPILE_CACHE, key, cp)
+    return cp
+
+
+# ---------------------------------------------------------------------------
+# Engine lowering: checked -> raw kernel swap for the simulators
+# ---------------------------------------------------------------------------
+
+
+def _as_scalar(a: np.ndarray) -> Any:
+    """0-d results back to numpy scalars, matching the checked kernels'
+    representation exactly (message packing sees the same block types)."""
+    return a[()] if isinstance(a, np.ndarray) and a.ndim == 0 else a
+
+
+def _raw_map_fn(label: str, checked_fn: Callable) -> Callable:
+    """Per-block map: raw tape when the block conforms, else the checked
+    kernelized fn (which itself falls back to object mode)."""
+    memo = _TapeMemo(label)
+
+    def fn(x: Any) -> Any:
+        if not is_vector_block(x):
+            return checked_fn(x)
+        arity = len(x) if isinstance(x, tuple) else 1
+        tape = memo.get(arity)
+        if tape is None:
+            return checked_fn(x)
+        row = _conform([x], arity)
+        if row is None:
+            return checked_fn(x)
+        vals = [_as_scalar(v) for v in _run_map_tape(tape, row[0])]
+        return vals[0] if len(vals) == 1 else tuple(vals)
+
+    return fn
+
+
+def _raw_binop_fn(op: BinOp) -> Callable:
+    """Whole-block raw combine; falls back to the checked op per call."""
+    tape = emit_combine(op)  # raises JitUnsupported if not lowerable
+    checked_fn = op.fn
+
+    def fn(a: Any, b: Any) -> Any:
+        if not (is_vector_block(a) and is_vector_block(b)):
+            return checked_fn(a, b)
+        rows = _conform([a, b], tape.slots)
+        if rows is None:
+            return checked_fn(a, b)
+        acc, rhs = rows
+        tmps: list[Optional[np.ndarray]] = [None] * len(tape.instrs)
+
+        def res(ref: tuple[str, int]) -> np.ndarray:
+            tag, i = ref
+            if tag == "a":
+                return acc[i]
+            if tag == "b":
+                return rhs[i]
+            return tmps[i]  # type: ignore[return-value]
+
+        for u, sa, sb, dst in tape.instrs:
+            tmps[dst] = u(res(sa), res(sb))
+        out = [_as_scalar(res(r)) for r in tape.out]
+        return out[0] if len(out) == 1 else tuple(out)
+
+    return fn
+
+
+def _raw_program(vprog: Program) -> Optional[Program]:
+    """All-or-nothing swap of checked kernels for raw ones.
+
+    Keeps every stage's cost annotations (``ops_per_element``,
+    ``op_count``) untouched, so simulated time is bit-identical to the
+    vectorized run.  Returns None when any stage has no raw form.
+    """
+    raw_stages: list[Stage] = []
+    for st in vprog.stages:
+        if isinstance(st, MapStage):
+            raw_stages.append(replace(st, fn=_raw_map_fn(st.label, st.fn)))
+        elif isinstance(st, (ScanStage, ReduceStage, AllReduceStage)):
+            try:
+                raw_op = replace(st.op, fn=_raw_binop_fn(st.op))
+            except JitUnsupported:
+                return None
+            raw_stages.append(replace(st, op=raw_op))
+        elif isinstance(st, BcastStage):
+            raw_stages.append(st)  # pure movement
+        else:
+            return None
+    return Program(raw_stages, name=vprog.name)
+
+
+def engine_lower(
+    program: Program, inputs: Sequence[Any], params: Optional[MachineParams] = None
+) -> tuple[Program, list]:
+    """Lower ``program`` for a simulated engine run with ``jit=True``.
+
+    Returns ``(program_to_run, vectorized_inputs)``: the raw-kernel swap
+    when every stage lowers *and* the bounds analysis proves the whole
+    run overflow-free, else the plain checked kernelized program.
+    Raises :class:`~repro.kernels.blocks.KernelUnsupported` when not
+    even kernelizable (callers fall back to object mode).
+    """
+    del params  # engine chunking is governed by the machine model itself
+    STATS.runs += 1
+    vec = [vectorize_block(x) for x in inputs]  # may raise KernelUnsupported
+    key = ("engine", program, registry_version())
+    entry = _cache_get(_ENGINE_CACHE, key)
+    if entry is None:
+        STATS.cache_misses += 1
+        vprog = vectorize_program(program)  # may raise KernelUnsupported
+        raw = _raw_program(vprog)
+        entry = (vprog, raw)
+        STATS.compiles += 1
+        if raw is not None:
+            STATS.fused_stages += len(raw.stages)
+        _cache_put(_ENGINE_CACHE, key, entry)
+    else:
+        STATS.cache_hits += 1
+    vprog, raw = entry
+    if raw is None:
+        STATS.fallbacks["uncompiled:engine"] += 1
+        return vprog, vec
+    proven, why = _proven_safe(vprog.stages, vec)
+    if not proven:
+        STATS.fallbacks[why] += 1
+        return vprog, vec
+    STATS.full_jit_runs += 1
+    return raw, vec

@@ -1,0 +1,71 @@
+"""``run_jit`` — the JIT tier's front-end evaluator.
+
+Same contract as :func:`repro.kernels.evaluator.run_vectorized` (it is
+the seventh conformance backend), same fallback discipline:
+
+* **static** — no kernel lowering for the program, or inputs without an
+  array representation: :class:`~repro.kernels.blocks.KernelUnsupported`
+  propagates under ``strict=True`` (the oracle reports SKIPPED), else
+  the program just runs in object mode.
+* **dynamic** — a checked fallback step raising
+  :class:`~repro.kernels.blocks.KernelOverflow` triggers the exact
+  object-mode (Python bigint) replay, even under ``strict=True``.
+
+Everything in between — unprovable bounds, non-conforming blocks,
+steps the compiler can't lower — silently executes through the checked
+kernelized plan per step, so results are bit-identical to the
+vectorized tier in every case.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.cost import MachineParams
+from repro.core.stages import Program
+from repro.kernels.blocks import (
+    KernelFallback,
+    KernelUnsupported,
+    devectorize_block,
+    vectorize_block,
+)
+
+from .compiler import compiled_program
+from .stats import STATS
+
+__all__ = ["run_jit"]
+
+
+def run_jit(
+    program: Program,
+    xs: Sequence[Any],
+    *,
+    params: Optional[MachineParams] = None,
+    strict: bool = False,
+) -> list[Any]:
+    """Run ``program`` on the distributed list ``xs`` through the JIT tier.
+
+    ``params`` tunes local chunk sizing only (results never depend on
+    it); ``strict=True`` propagates the static skip for the oracle.
+    """
+    STATS.runs += 1
+    try:
+        cp = compiled_program(program, params)
+    except KernelUnsupported:
+        STATS.fallbacks["unsupported-program"] += 1
+        if strict:
+            raise
+        return program.run(list(xs))
+    try:
+        vec = [vectorize_block(x) for x in xs]
+    except KernelUnsupported:
+        STATS.fallbacks["unsupported-input"] += 1
+        if strict:
+            raise
+        return program.run(list(xs))
+    try:
+        out = cp.run(vec)
+    except KernelFallback:
+        STATS.fallbacks["overflow-replay"] += 1
+        return program.run(list(xs))
+    return [devectorize_block(v) for v in out]

@@ -1,0 +1,80 @@
+"""Optional numba acceleration for scalar fold loops.
+
+Strictly opt-in (``REPRO_JIT_NUMBA=1``) and strictly cosmetic: the numba
+kernels compute the *same* left-fold in the *same* association order
+over the same int64/float64 chunks, so results are bit-identical to the
+ufunc tapes — and when numba is not importable (it is not a declared
+dependency) the tier silently keeps using the ufunc tapes.  Skip, never
+fail: enabling the flag on a numba-less host changes nothing.
+
+Only single-slot combines of one scalar ufunc qualify (``reduce(add)``
+over plain int64 blocks, say); the SR2 tapes stay on the ufunc path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+__all__ = ["numba_enabled", "fold_kernel"]
+
+#: op name -> the fold expression inlined into the generated source
+_EXPRS = {
+    "add": "acc + stack[i, j]",
+    "fadd": "acc + stack[i, j]",
+    "mul": "acc * stack[i, j]",
+    "fmul": "acc * stack[i, j]",
+    "max": "acc if acc > stack[i, j] else stack[i, j]",
+    "min": "acc if acc < stack[i, j] else stack[i, j]",
+}
+
+_kernels: dict[str, Optional[Callable]] = {}
+
+
+def numba_enabled() -> bool:
+    """True when the opt-in ``REPRO_JIT_NUMBA=1`` flag is set."""
+    return os.environ.get("REPRO_JIT_NUMBA", "") == "1"
+
+
+def _numba() -> Any:
+    try:
+        import numba  # noqa: PLC0415 — optional, probed lazily
+    except Exception:
+        return None
+    return numba
+
+
+def fold_kernel(op_name: str) -> Optional[Callable]:
+    """An njit ``(stack, out) -> None`` left-fold kernel, or None.
+
+    ``stack`` is a ``(p, n)`` array of the per-rank chunks; ``out`` a
+    length-``n`` output.  Returns None (and the caller stays on the
+    ufunc tape) when the flag is off, numba is absent, the op has no
+    scalar fold expression, or compilation fails for any reason.
+    """
+    if not numba_enabled():
+        return None
+    if op_name not in _EXPRS:
+        return None
+    if op_name in _kernels:
+        return _kernels[op_name]
+    kernel: Optional[Callable] = None
+    numba = _numba()
+    if numba is not None:
+        src = (
+            "def _fold(stack, out):\n"
+            "    p, n = stack.shape\n"
+            "    for j in range(n):\n"
+            "        acc = stack[0, j]\n"
+            "        for i in range(1, p):\n"
+            f"            acc = {_EXPRS[op_name]}\n"
+            "        out[j] = acc\n"
+        )
+        try:
+            ns: dict[str, Any] = {}
+            exec(src, ns)  # noqa: S102 — templated from the table above
+            kernel = numba.njit(cache=False)(ns["_fold"])
+        except Exception:
+            kernel = None  # never fail: fall back to the ufunc tape
+    _kernels[op_name] = kernel
+    return kernel

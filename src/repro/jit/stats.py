@@ -1,0 +1,87 @@
+"""Observability counters for the JIT tier.
+
+One process-wide :class:`JitStats` instance (:data:`STATS`) counts
+compiles, cache hits, executed compiled vs. kernelized steps, and the
+*reason* for every fallback — the numbers ``python -m repro jit stats``
+prints.  Counters are plain ints/Counter: cheap enough to bump on the
+hot path, reset via :func:`reset_stats` (wired into
+``clear_planner_caches()`` together with the compile cache).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["JitStats", "STATS", "reset_stats"]
+
+
+@dataclass
+class JitStats:
+    """Process-wide JIT compile-cache and dispatch counters."""
+
+    #: programs compiled (cache misses that built a CompiledProgram)
+    compiles: int = 0
+    #: compile-cache hits / misses
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: ``run_jit`` / ``engine_lower`` invocations
+    runs: int = 0
+    #: runs where every step executed through compiled code
+    full_jit_runs: int = 0
+    #: plan steps executed through a compiled kernel
+    compiled_steps: int = 0
+    #: plan steps executed through the checked kernelized fallback
+    kernelized_steps: int = 0
+    #: stages covered by compiled steps across all compiles (fusion win)
+    fused_stages: int = 0
+    #: reason -> count for every fallback decision (static and dynamic)
+    fallbacks: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "runs": self.runs,
+            "full_jit_runs": self.full_jit_runs,
+            "compiled_steps": self.compiled_steps,
+            "kernelized_steps": self.kernelized_steps,
+            "fused_stages": self.fused_stages,
+            "fallbacks": dict(sorted(self.fallbacks.items())),
+        }
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        lines = ["JIT tier stats:"]
+        for key in ("compiles", "cache_hits", "cache_misses", "runs",
+                    "full_jit_runs", "compiled_steps", "kernelized_steps",
+                    "fused_stages"):
+            lines.append(f"  {key.replace('_', ' '):18}: {snap[key]}")
+        if self.fallbacks:
+            lines.append("  fallback reasons  :")
+            for reason, count in sorted(self.fallbacks.items()):
+                lines.append(f"    {reason:24}: {count}")
+        else:
+            lines.append("  fallback reasons  : (none)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.compiles = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.runs = 0
+        self.full_jit_runs = 0
+        self.compiled_steps = 0
+        self.kernelized_steps = 0
+        self.fused_stages = 0
+        self.fallbacks.clear()
+
+
+STATS = JitStats()
+
+
+def reset_stats() -> None:
+    """Zero every counter on the process-wide :data:`STATS` instance."""
+    STATS.reset()

@@ -51,10 +51,21 @@ __all__ = [
     "kernelize_binop",
     "kernelize_map",
     "has_binop_kernel",
+    "registry_version",
 ]
 
 Kernel = Callable[[Any, Any], Any]
 MapKernel = Callable[[Any], Any]
+
+#: bumped on every (re-)registration; compiled-kernel caches (the JIT
+#: tier's, notably) key on it so a stale compile is never served after
+#: the tables change
+_REGISTRY_VERSION = 0
+
+
+def registry_version() -> int:
+    """Monotonic counter identifying the current kernel tables."""
+    return _REGISTRY_VERSION
 
 
 def _and_kernel(a: Any, b: Any) -> Any:
@@ -125,14 +136,18 @@ _MAP_KERNELS: dict[str, MapKernel] = {
 
 def register_binop_kernel(name: str, kernel: Kernel) -> None:
     """Register (or override) the array kernel for the BinOp named ``name``."""
+    global _REGISTRY_VERSION
     _BINOP_KERNELS[name] = kernel
+    _REGISTRY_VERSION += 1
 
 
 def register_map_kernel(label: str, kernel: MapKernel) -> None:
     """Register (or override) the array kernel for the map label ``label``."""
     if ";" in label:
         raise ValueError("register the unfused labels; fusion composes them")
+    global _REGISTRY_VERSION
     _MAP_KERNELS[label] = kernel
+    _REGISTRY_VERSION += 1
 
 
 def _lift_undef(kernel: Kernel) -> Kernel:

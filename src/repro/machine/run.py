@@ -160,7 +160,7 @@ def scan_balanced_butterfly_entry(ctx: RankContext, x: Any, stage: BalancedScanS
 def simulate_program(
     program: Program, inputs: Sequence[Any], params: MachineParams,
     faults: FaultPlan | None = None, vectorize: bool = False,
-    engine: str = "cooperative",
+    jit: bool = False, engine: str = "cooperative",
 ) -> SimResult:
     """Simulate ``program`` on ``len(inputs)`` processors.
 
@@ -178,6 +178,14 @@ def simulate_program(
     a checked integer overflow — automatically fall back to the exact
     object-mode simulation.
 
+    ``jit=True`` additionally swaps the checked kernels for raw compiled
+    ones when :mod:`repro.jit` proves the whole run overflow-free (the
+    static range check hoisted out of every combine).  Every cost
+    annotation is preserved, so simulated time is bit-identical to
+    ``vectorize=True`` — JIT changes wall-clock only; anything unproven
+    runs the checked kernels, and overflow/unsupported cases fall back
+    exactly like ``vectorize=True``.
+
     ``engine`` selects the execution machinery — results, simulated
     clocks and statistics are identical across all three (the conformance
     harness checks this):
@@ -194,15 +202,43 @@ def simulate_program(
         from repro.mpi.threaded import simulate_program_threaded
 
         return simulate_program_threaded(program, inputs, params,
-                                         faults=faults, vectorize=vectorize)
+                                         faults=faults, vectorize=vectorize,
+                                         jit=jit)
     if engine == "process":
         from repro.parallel import simulate_program_process
 
+        # the process backend has no raw-kernel swap; its vectorized
+        # path honors the same results contract (JIT is a wall-clock
+        # optimization, so downgrading is always sound)
         return simulate_program_process(program, inputs, params,
-                                        faults=faults, vectorize=vectorize)
+                                        faults=faults,
+                                        vectorize=vectorize or jit)
     if engine != "cooperative":
         raise ValueError(f"unknown engine {engine!r} (expected 'cooperative',"
                          f" 'threaded', or 'process')")
+    if jit:
+        from repro.jit import engine_lower
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+        )
+
+        try:
+            jprog, jinputs = engine_lower(program, inputs, params)
+        except KernelUnsupported:
+            jprog = None
+        if jprog is not None:
+            try:
+                result = simulate_program(jprog, jinputs, params, faults=faults)
+            except KernelFallback:
+                pass  # e.g. int64 overflow: replay exactly in object mode
+            else:
+                return dataclasses.replace(
+                    result,
+                    values=tuple(devectorize_block(v) for v in result.values),
+                )
+        vectorize = False  # fall through to the exact object-mode run
     if vectorize:
         from repro.kernels import (
             KernelFallback,

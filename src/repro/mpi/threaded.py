@@ -529,7 +529,7 @@ def threaded_spmd_run(
 
 
 def simulate_program_threaded(program, inputs, params=None, faults=None,
-                              vectorize=False) -> SimResult:
+                              vectorize=False, jit=False) -> SimResult:
     """Run a stage :class:`~repro.core.stages.Program` on the threaded engine.
 
     The blocking counterpart of :func:`repro.machine.run.simulate_program`:
@@ -542,11 +542,41 @@ def simulate_program_threaded(program, inputs, params=None, faults=None,
     tuple states travel as one contiguous packed message — instead of
     boxed Python values.  Results are devectorized; programs, inputs, or
     runs the kernels cannot handle exactly fall back to object mode.
+
+    ``jit=True`` further swaps checked kernels for raw compiled ones when
+    the whole run is statically proven overflow-free (:mod:`repro.jit`);
+    simulated clocks are bit-identical to ``vectorize=True`` — only
+    wall-clock changes — and the fallback ladder is the same.
     """
     from repro.machine.run import execute_stage
 
     if params is None:
         params = MachineParams(p=len(inputs), ts=0.0, tw=0.0, m=1)
+
+    if jit:
+        from repro.jit import engine_lower
+        from repro.kernels import (
+            KernelFallback,
+            KernelUnsupported,
+            devectorize_block,
+        )
+
+        try:
+            jprog, jinputs = engine_lower(program, inputs, params)
+        except KernelUnsupported:
+            jprog = None
+        if jprog is not None:
+            try:
+                result = simulate_program_threaded(jprog, jinputs, params,
+                                                   faults=faults)
+            except KernelFallback:
+                pass  # e.g. int64 overflow: replay exactly in object mode
+            else:
+                return dataclasses.replace(
+                    result,
+                    values=tuple(devectorize_block(v) for v in result.values),
+                )
+        vectorize = False  # fall through to the exact object-mode run
 
     if vectorize:
         from repro.kernels import (

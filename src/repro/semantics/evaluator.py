@@ -52,7 +52,11 @@ def run_program(program: Program, xs: Sequence[Any],
       :class:`repro.kernels.KernelUnsupported` for domains without an
       array representation;
     * ``"auto"`` — vectorized when the program and inputs lower to
-      kernels, object mode otherwise (bit-for-bit identical results).
+      kernels, object mode otherwise (bit-for-bit identical results);
+    * ``"jit"`` — the whole-program JIT tier (:func:`repro.jit.run_jit`):
+      fused plans compiled to single raw-ufunc segment kernels, checked
+      or object fallback per step; raises
+      :class:`repro.kernels.KernelUnsupported` like ``"vectorized"``.
     """
     if mode == "object":
         return program.run(xs)
@@ -60,6 +64,10 @@ def run_program(program: Program, xs: Sequence[Any],
         from repro.kernels import run_vectorized
 
         return run_vectorized(program, xs, strict=(mode == "vectorized"))
+    if mode == "jit":
+        from repro.jit import run_jit
+
+        return run_jit(program, xs, strict=True)
     raise ValueError(f"unknown evaluation mode {mode!r}")
 
 

@@ -81,11 +81,18 @@ def faulted_run(engine: str, program, xs: Sequence[Any],
 
     ``"process"`` runs the plan on real forked workers (faults fire
     inside the children; a planned crash is an actual child exit) — the
-    typed-error and agreement contracts are identical.
+    typed-error and agreement contracts are identical.  ``"jit"`` runs
+    the cooperative engine with the raw-kernel swap
+    (``simulate_program(..., jit=True)``): like the vectorized tier it
+    must produce the same typed errors, UNDEF holes, and exact clocks —
+    never wrong answers.
     """
     if engine == "process":
         runner: Callable = lambda *a, **kw: simulate_program(  # noqa: E731
             *a, engine="process", **kw)
+    elif engine == "jit":
+        runner = lambda *a, **kw: simulate_program(  # noqa: E731
+            *a, jit=True, **kw)
     else:
         runner = (simulate_program if engine == "machine"
                   else simulate_program_threaded)

@@ -15,16 +15,19 @@ One generated program is executed on every available substrate:
   and operators to whole-block kernels;
 * ``process``    — the process-per-rank shared-memory backend
   (:func:`repro.parallel.simulate_program_process`), which moves every
-  payload across real address-space boundaries.
+  payload across real address-space boundaries;
+* ``jit``        — the whole-program JIT tier (:func:`repro.jit.run_jit`),
+  which compiles fused plans into single raw-ufunc segment kernels with
+  overflow guards hoisted to one static range check.
 
 All outputs must agree modulo undefined blocks (:func:`defined_equal`).
 The codegen backend normalizes mpi4py's ``None``-off-root convention to
 :data:`UNDEF` and is *skipped* (not failed) for programs it cannot
 express — balanced collectives, iter stages, unregistered operators.
-The vectorized backend is likewise skipped for domains without an array
-representation (list concatenation, segmented pairs); integer overflow
-is *not* a skip — the kernels detect it and replay in exact object mode,
-and the oracle checks the result like any other.  The process backend is
+The vectorized and jit backends are likewise skipped for domains without
+an array representation (list concatenation, segmented pairs); integer
+overflow is *not* a skip — the kernels detect it and replay in exact
+object mode, and the oracle checks the result like any other.  The process backend is
 skipped where real rank processes cannot run (no ``fork``/shared
 memory) — on such platforms it would silently degrade to the threaded
 engine, which is already a separate backend here.
@@ -59,7 +62,8 @@ __all__ = [
 ]
 
 BACKENDS: tuple[str, ...] = (
-    "functional", "machine", "threaded", "codegen", "vectorized", "process"
+    "functional", "machine", "threaded", "codegen", "vectorized", "process",
+    "jit",
 )
 
 #: sentinel for "this backend cannot express the program" (not a failure)
@@ -91,6 +95,13 @@ def run_backend(name: str, gp: GeneratedProgram, xs: Sequence[Any],
     if name == "vectorized":
         try:
             return run_vectorized(program, list(xs), strict=True)
+        except KernelUnsupported:
+            return SKIPPED
+    if name == "jit":
+        from repro.jit import run_jit
+
+        try:
+            return run_jit(program, list(xs), strict=True)
         except KernelUnsupported:
             return SKIPPED
     if name == "process":

@@ -1,0 +1,422 @@
+"""Whole-program JIT tier: exactness, fallbacks, engines, caches, CLI.
+
+The contract under test (``docs/PERFORMANCE.md``): ``run_jit`` is
+bit-identical to ``run_vectorized`` — raw fused segment kernels where
+the hoisted static range check proves the run overflow-free, checked
+kernels everywhere else, exact object-mode replay on overflow — and
+``simulate_program(..., jit=True)`` reports the exact simulated clock
+of ``vectorize=True`` (JIT changes wall-clock only, never results or
+the cost model).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, CONCAT, FADD, FMUL, MAX, MUL
+from repro.core.optimizer import clear_planner_caches, optimize
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+from repro.jit import (
+    STATS,
+    JitUnsupported,
+    clear_jit_cache,
+    compiled_program,
+    reset_stats,
+    run_jit,
+)
+from repro.kernels import (
+    KernelUnsupported,
+    run_vectorized,
+)
+from repro.kernels.registry import (
+    binop_kernel,
+    register_binop_kernel,
+    registry_version,
+)
+from repro.machine.run import simulate_program
+from repro.semantics.evaluator import run_program
+from repro.semantics.functional import UNDEF, defined_equal
+from repro.testing.chaos import run_chaos
+from repro.testing.generator import GeneratedProgram
+from repro.testing.oracle import SKIPPED, differential_check, run_backend
+
+P = 8
+PARAMS = MachineParams(p=P, ts=10.0, tw=1.0, m=1024)
+
+
+def _inc(x):
+    return x + 1
+
+
+def _dbl(x):
+    return x * 2
+
+
+def _arrays(block: int = 1000, p: int = P, lo: int = 1, hi: int = 4,
+            seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(lo, hi, block).astype(np.int64) for _ in range(p)]
+
+
+def _sr2_program(block: int = 1000, p: int = P) -> Program:
+    params = MachineParams(p=p, ts=10.0, tw=1.0, m=block)
+    result = optimize(Program([ScanStage(MUL), ReduceStage(ADD)],
+                              name="scan;reduce"), params)
+    assert "SR2-Reduction" in result.derivation.rules_used
+    return result.program
+
+
+def _assert_bitwise(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if x is UNDEF or y is UNDEF:
+            assert x is y
+            continue
+        assert np.array_equal(np.asarray(x), np.asarray(y))
+        assert np.asarray(x).dtype == np.asarray(y).dtype
+
+
+@pytest.fixture(autouse=True)
+def _fresh_jit():
+    clear_jit_cache()
+    reset_stats()
+    yield
+    clear_jit_cache()
+    reset_stats()
+
+
+class TestRunJitCorrectness:
+    def test_sr2_pipeline_full_jit_bit_identical(self):
+        prog = _sr2_program()
+        xs = _arrays()
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+        assert STATS.full_jit_runs >= 1
+        assert STATS.fused_stages >= 3  # pair + sr2-combine + pi_1
+
+    def test_scan_chain_matches_vectorized(self):
+        prog = Program([MapStage(_inc, label="inc"), ScanStage(ADD),
+                        ReduceStage(ADD)])
+        xs = _arrays(seed=1)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_float_pipeline_bitwise(self):
+        prog = Program([ScanStage(FMUL), AllReduceStage(FADD)])
+        rng = np.random.default_rng(2)
+        xs = [rng.random(1000) for _ in range(P)]
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+        assert STATS.full_jit_runs >= 1  # floats are proven by regime
+
+    def test_empty_blocks(self):
+        prog = _sr2_program(block=0)
+        xs = [np.zeros(0, dtype=np.int64) for _ in range(P)]
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_single_rank(self):
+        # the optimizer leaves p=1 alone (nothing to save); run the
+        # unoptimized pipeline — jit must still handle one-rank folds
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        xs = _arrays(p=1, seed=3)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_scalar_blocks(self):
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        xs = [2, 3, 1, 2]
+        jit = run_jit(prog, list(xs), strict=True)
+        ref = prog.run(list(xs))
+        assert defined_equal(ref, jit)
+
+    def test_undef_propagates_through_post_map(self):
+        # reduce leaves UNDEF off-root; the following map must keep it
+        prog = Program([ReduceStage(ADD), MapStage(_inc, label="inc")])
+        xs = _arrays(seed=4)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        assert all(v is UNDEF for v in jit[1:])
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_bcast_supported(self):
+        prog = Program([MapStage(_dbl, label="dbl"), BcastStage()])
+        xs = _arrays(seed=5)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_inputs_not_mutated(self):
+        prog = _sr2_program()
+        xs = _arrays(seed=6)
+        originals = [a.copy() for a in xs]
+        run_jit(prog, xs, strict=True)
+        for a, o in zip(xs, originals):
+            assert np.array_equal(a, o)
+
+
+class TestFallbacks:
+    def test_unsupported_program_strict_raises(self):
+        prog = Program([ScanStage(CONCAT)])
+        xs = [[1], [2], [3], [4]]
+        with pytest.raises(KernelUnsupported):
+            run_jit(prog, list(xs), strict=True)
+
+    def test_unsupported_program_nonstrict_object_mode(self):
+        prog = Program([ScanStage(CONCAT)])
+        xs = [[1], [2], [3], [4]]
+        out = run_jit(prog, [list(b) for b in xs])
+        assert defined_equal(prog.run([list(b) for b in xs]), out)
+        assert STATS.fallbacks["unsupported-program"] >= 1
+
+    def test_overflow_replay_exact_bigints(self):
+        # Python-int blocks: the replay is object mode, hence exact
+        prog = Program([ScanStage(MUL), ReduceStage(MUL)])
+        xs = [2 ** 40, 2 ** 41, 2 ** 42, 2 ** 43]
+        jit = run_jit(prog, list(xs), strict=True)
+        ref = prog.run(list(xs))
+        assert defined_equal(ref, jit)
+        assert jit[0] == 2 ** (40 + 81 + 123 + 166)
+        assert STATS.fallbacks["overflow-replay"] >= 1
+
+    def test_overflow_replay_matches_vectorized_wrap(self):
+        # int64 arrays: object replay wraps exactly like run_vectorized's
+        prog = Program([ScanStage(MUL)])
+        xs = [np.full(8, 2 ** 31, dtype=np.int64) for _ in range(4)]
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+
+    def test_bounds_unproven_runs_checked_kernels(self):
+        # hull says 8 * 2^61 might overflow; the actual data never does
+        prog = Program([ReduceStage(ADD)])
+        xs = [np.zeros(16, dtype=np.int64) for _ in range(P)]
+        xs[0][:] = 2 ** 61
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
+        assert STATS.fallbacks["bounds-unproven"] >= 1
+        assert STATS.full_jit_runs == 0
+
+    def test_mode_jit_run_program_and_method(self):
+        prog = _sr2_program()
+        xs = _arrays(seed=7)
+        via_mode = run_program(prog, [a.copy() for a in xs], mode="jit")
+        via_method = prog.run_jit([a.copy() for a in xs])
+        _assert_bitwise(via_mode, via_method)
+
+
+class TestEngines:
+    def test_cooperative_identical_time_and_values(self):
+        prog = _sr2_program(block=256)
+        xs = _arrays(block=256, seed=8)
+        params = MachineParams(p=P, ts=10.0, tw=1.0, m=256)
+        vec = simulate_program(prog, [a.copy() for a in xs], params,
+                               vectorize=True)
+        jit = simulate_program(prog, [a.copy() for a in xs], params,
+                               jit=True)
+        assert jit.time == vec.time
+        _assert_bitwise(vec.values, jit.values)
+
+    def test_threaded_identical_time_and_values(self):
+        prog = _sr2_program(block=256)
+        xs = _arrays(block=256, seed=9)
+        params = MachineParams(p=P, ts=10.0, tw=1.0, m=256)
+        vec = simulate_program(prog, [a.copy() for a in xs], params,
+                               vectorize=True, engine="threaded")
+        jit = simulate_program(prog, [a.copy() for a in xs], params,
+                               jit=True, engine="threaded")
+        assert jit.time == vec.time
+        _assert_bitwise(vec.values, jit.values)
+
+    def test_engine_jit_matches_object_mode(self):
+        prog = _sr2_program(block=64)
+        xs = _arrays(block=64, seed=10)
+        params = MachineParams(p=P, ts=10.0, tw=1.0, m=64)
+        obj = simulate_program(prog, [a.copy() for a in xs], params)
+        jit = simulate_program(prog, [a.copy() for a in xs], params,
+                               jit=True)
+        assert jit.time == obj.time
+        for o, j in zip(obj.values, jit.values):
+            assert np.array_equal(np.asarray(o), np.asarray(j))
+
+    def test_engine_unsupported_falls_back_to_object(self):
+        prog = Program([ScanStage(CONCAT)])
+        xs = [(1,), (2,), (3,), (4,)]
+        params = MachineParams(p=4, ts=10.0, tw=1.0, m=1)
+        obj = simulate_program(prog, list(xs), params)
+        jit = simulate_program(prog, list(xs), params, jit=True)
+        assert jit.time == obj.time
+        assert defined_equal(list(obj.values), list(jit.values))
+
+    def test_process_engine_accepts_jit_flag(self):
+        # no raw swap in worker processes: jit downgrades to vectorize,
+        # which is sound (JIT is a wall-clock optimization only)
+        prog = _sr2_program(block=32, p=2)
+        xs = _arrays(block=32, p=2, seed=11)
+        params = MachineParams(p=2, ts=10.0, tw=1.0, m=32)
+        obj = simulate_program(prog, [a.copy() for a in xs], params)
+        jit = simulate_program(prog, [a.copy() for a in xs], params,
+                               jit=True, engine="process")
+        assert jit.time == obj.time
+        for o, j in zip(obj.values, jit.values):
+            assert np.array_equal(np.asarray(o), np.asarray(j))
+
+
+class TestOracleAndChaos:
+    def test_seventh_backend_agrees_with_functional(self):
+        prog = Program([ScanStage(MUL), ReduceStage(ADD)])
+        gp = GeneratedProgram(program=prog, domain="int", functions={},
+                              note="jit oracle")
+        xs = [2, 3, 1, 2]
+        out = run_backend("jit", gp, xs, PARAMS)
+        assert out is not SKIPPED
+        assert defined_equal(prog.run(list(xs)), out)
+
+    def test_backend_skips_unsupported_domains(self):
+        prog = Program([ScanStage(CONCAT)])
+        gp = GeneratedProgram(program=prog, domain="list", functions={},
+                              note="jit skip")
+        out = run_backend("jit", gp, [(1,), (2,)], PARAMS)
+        assert out is SKIPPED
+
+    def test_differential_check_with_all_backends(self):
+        prog = _sr2_program(block=1, p=4)
+        gp = GeneratedProgram(program=prog, domain="int", functions={},
+                              note="jit differential")
+        mismatch = differential_check(gp, [2, 3, 1, 2],
+                                      MachineParams(p=4, ts=10.0, tw=1.0,
+                                                    m=1))
+        assert mismatch is None
+
+    def test_chaos_with_jit_engine(self):
+        report = run_chaos(seed=11, iters=4, plans_per_case=2,
+                           engines=("machine", "jit"))
+        assert report.ok, report.describe()
+
+
+class TestCaches:
+    def test_compile_cache_hit_on_second_run(self):
+        prog = _sr2_program()
+        xs = _arrays(seed=12)
+        run_jit(prog, [a.copy() for a in xs], strict=True)
+        compiles = STATS.compiles
+        run_jit(prog, [a.copy() for a in xs], strict=True)
+        assert STATS.compiles == compiles  # served from cache
+        assert STATS.cache_hits >= 1
+
+    def test_params_change_is_a_cache_miss(self):
+        prog = _sr2_program()
+        xs = _arrays(seed=13)
+        run_jit(prog, [a.copy() for a in xs], strict=True)
+        run_jit(prog, [a.copy() for a in xs], strict=True,
+                params=MachineParams(p=P, ts=99.0, tw=3.0, m=512))
+        assert STATS.compiles == 2
+        assert STATS.cache_misses == 2
+
+    def test_registry_change_invalidates_cache(self):
+        prog = Program([ScanStage(ADD)])
+        compiled_program(prog)
+        assert STATS.compiles == 1
+        version = registry_version()
+        register_binop_kernel("add", binop_kernel(ADD))  # same kernel, new version
+        assert registry_version() == version + 1
+        compiled_program(prog)
+        assert STATS.compiles == 2  # stale entry not served
+
+    def test_clear_planner_caches_resets_jit_cache(self):
+        # satellite regression: the JIT compile cache participates in
+        # clear_planner_caches(), so a planner-level reset can never
+        # leave a stale compiled kernel behind
+        prog = _sr2_program()
+        compiled_program(prog)
+        assert STATS.compiles == 1
+        clear_planner_caches()
+        compiled_program(prog)
+        assert STATS.compiles == 2
+        assert STATS.cache_hits == 0
+
+    def test_unsupported_raises_kernel_unsupported(self):
+        # callers catching KernelUnsupported (every skip site) also catch
+        # the jit-specific JitUnsupported — one exception vocabulary
+        prog = Program([ScanStage(CONCAT)])
+        with pytest.raises(KernelUnsupported):
+            compiled_program(prog)
+        assert issubclass(JitUnsupported, KernelUnsupported)
+
+
+class TestStatsAndCli:
+    def test_stats_describe_and_reset(self):
+        prog = _sr2_program()
+        run_jit(prog, _arrays(seed=14), strict=True)
+        text = STATS.describe()
+        assert "compiles" in text and "fused stages" in text
+        snap = STATS.snapshot()
+        assert snap["runs"] == 1
+        reset_stats()
+        assert STATS.runs == 0
+
+    def test_cli_jit_stats_on_file(self, capsys, tmp_path):
+        f = tmp_path / "prog.mpi"
+        f.write_text("Program P (x);\n"
+                     "MPI_Scan (x, y, mul);\n"
+                     "MPI_Reduce (y, z, add);\n")
+        code = cli_main(["jit", "stats", str(f), "--p", "4", "--m", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[jit ]" in out
+        assert "full jit runs" in out
+
+    def test_cli_jit_clear(self, capsys):
+        code = cli_main(["jit", "clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cleared" in out
+
+    def test_cli_conformance_accepts_jit_engine(self, capsys):
+        code = cli_main(["conformance", "--chaos", "--seed", "2",
+                         "--iters", "2", "--engine", "jit"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all chaos checks passed" in out
+
+    def test_cli_bench_summary(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_demo.json").write_text(json.dumps(
+            {"series": [{"backend": "jit", "median_s": 0.1}],
+             "speedup": 2.5}))
+        outdir = tmp_path / "out"
+        outdir.mkdir()
+        code = cli_main(["bench", "summary", "--results", str(results),
+                         "--out", str(outdir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        copied = json.loads((outdir / "BENCH_demo.json").read_text())
+        assert "host" in copied  # stamped during aggregation
+        assert "BENCH_demo.json" in out
+
+    def test_numba_flag_is_inert_without_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_NUMBA", "1")
+        prog = Program([ReduceStage(ADD)])
+        xs = _arrays(seed=15)
+        jit = run_jit(prog, [a.copy() for a in xs], strict=True)
+        vec = run_vectorized(prog, [a.copy() for a in xs], strict=True)
+        _assert_bitwise(vec, jit)
