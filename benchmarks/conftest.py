@@ -38,6 +38,11 @@ def host_metadata() -> dict[str, Any]:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # active REPRO_* overrides change what a number means (forced
+        # process backend, scaled chaos decks, ...) — record them so a
+        # benchmark artifact is interpretable without the CI logs
+        "env": {k: v for k, v in sorted(os.environ.items())
+                if k.startswith("REPRO_")},
     }
 
 

@@ -53,6 +53,15 @@ Subcommands
     rerouting, shrink-recovery after a crash, typed exhaustion.
     ``--log PATH`` writes the quarantine scenario's structured JSON
     event log (the artifact CI uploads).
+``serve demo``
+    Walkthrough of the multi-tenant job-service runtime: a worker pool
+    serving a stream of tenant jobs with admission control, quotas,
+    deadlines and the retry/quarantine ladder.  ``--chaos`` runs the
+    SIGKILL roulette instead (workers killed mid-job; surviving tenants
+    must stay bit-identical).  ``--log PATH`` writes the job-lifecycle
+    event log.  Long-running commands (``serve``, ``conformance
+    --chaos``) shut down gracefully on SIGINT/SIGTERM: in-flight jobs
+    drain, the event log is flushed, and the exit code is 130.
 
 Machine parameters are given as ``--p/--ts/--tw/--m``; operator names in
 program files resolve against a built-in environment (``add mul max min
@@ -280,7 +289,84 @@ def build_parser() -> argparse.ArgumentParser:
                            "adds a real SIGKILL/respawn scenario on forked "
                            "workers (default machine)")
 
+    p_sv = subs.add_parser(
+        "serve",
+        help="multi-tenant job-service runtime (demo)")
+    p_sv.add_argument("action", choices=("demo",),
+                      help="'demo': self-contained serving walkthrough "
+                           "(admission, quotas, deadlines, retry ladder)")
+    p_sv.add_argument("--chaos", action="store_true",
+                      help="run the SIGKILL roulette instead: workers "
+                           "killed mid-job, surviving tenants must stay "
+                           "bit-identical (needs the process backend)")
+    p_sv.add_argument("--seed", type=int, default=0,
+                      help="chaos seed (default 0)")
+    p_sv.add_argument("--runs", type=int, default=4,
+                      help="chaos roulette rounds (default 4)")
+    p_sv.add_argument("--jobs", type=int, default=12,
+                      help="demo jobs per tenant (default 12)")
+    p_sv.add_argument("--tenants", type=int, default=3,
+                      help="demo tenants (default 3)")
+    p_sv.add_argument("--workers", type=int, default=2,
+                      help="worker threads (default 2)")
+    p_sv.add_argument("--substrate",
+                      choices=("cooperative", "threaded", "process"),
+                      default="cooperative",
+                      help="initial execution substrate for the demo "
+                           "(default cooperative; chaos always uses "
+                           "process)")
+    p_sv.add_argument("--log", default=None, metavar="PATH",
+                      help="write the job-lifecycle RecoveryLog JSON "
+                           "(flushed even on SIGINT/SIGTERM)")
+    _add_machine_args(p_sv)
+
     return parser
+
+
+class _GracefulStop:
+    """SIGINT/SIGTERM → a polled stop flag instead of a raw traceback.
+
+    Long-running commands install this around their main loop: the
+    first signal requests an orderly drain (the command finishes its
+    current unit, flushes logs, exits 130); a second signal falls back
+    to the default handler, so a wedged drain can still be killed.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self.event = threading.Event()
+        self._previous: dict[int, Any] = {}
+
+    def stopped(self) -> bool:
+        return self.event.is_set()
+
+    def __enter__(self) -> "_GracefulStop":
+        import signal
+
+        def handler(signum, frame):
+            self.event.set()
+            print(f"\nstop requested ({signal.Signals(signum).name}); "
+                  f"draining — signal again to force-kill",
+                  file=sys.stderr, flush=True)
+            signal.signal(signum, self._previous.get(signum,
+                                                     signal.SIG_DFL))
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # non-main thread / platform
+                pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import signal
+
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
@@ -442,19 +528,25 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         for eng in args.engines or ["threaded"]:
             if eng not in engines:
                 engines.append(eng)
-        if args.recover:
-            from repro.testing import run_chaos_recovery
+        with _GracefulStop() as stop:
+            if args.recover:
+                from repro.testing import run_chaos_recovery
 
-            chaos = run_chaos_recovery(seed=args.seed, iters=args.iters,
-                                       plans_per_case=args.plans,
-                                       max_failures=args.max_failures,
-                                       engines=engines)
-        else:
-            chaos = run_chaos(seed=args.seed, iters=args.iters, rules=rules,
-                              plans_per_case=args.plans,
-                              max_failures=args.max_failures,
-                              engines=engines)
+                chaos = run_chaos_recovery(seed=args.seed, iters=args.iters,
+                                           plans_per_case=args.plans,
+                                           max_failures=args.max_failures,
+                                           engines=engines,
+                                           should_stop=stop.stopped)
+            else:
+                chaos = run_chaos(seed=args.seed, iters=args.iters,
+                                  rules=rules,
+                                  plans_per_case=args.plans,
+                                  max_failures=args.max_failures,
+                                  engines=engines,
+                                  should_stop=stop.stopped)
         print(chaos.describe())
+        if chaos.aborted:
+            return 130
         return 0 if chaos.ok else 1
     report = run_conformance(seed=args.seed, iters=args.iters, rules=rules,
                              max_failures=args.max_failures)
@@ -603,7 +695,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
         headline = ""
         if isinstance(payload, dict):
-            for key in ("speedup", "overhead", "hit_rate"):
+            for key in ("speedup", "overhead", "hit_rate", "jobs_per_sec",
+                        "overhead_frac"):
                 if key in payload:
                     headline = f"{key}={payload[key]:.2f}" \
                         if isinstance(payload[key], float) \
@@ -636,6 +729,130 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     if args.log is not None:
         demo_event_log(engine=args.engine).write(args.log)
         print(f"wrote recovery event log to {args.log}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.parallel import process_fallback_reason
+
+    if args.chaos:
+        from repro.testing import run_serving_chaos
+
+        reason = process_fallback_reason(2)
+        if reason is not None:
+            print(f"serving chaos skipped: the process backend is "
+                  f"unavailable here ({reason})")
+            return 0
+        with _GracefulStop() as stop:
+            report = run_serving_chaos(seed=args.seed, runs=args.runs,
+                                       tenants=args.tenants,
+                                       should_stop=stop.stopped)
+        print(report.describe())
+        if args.log is not None and report.last_events:
+            import json
+
+            with open(args.log, "w", encoding="utf-8") as fh:
+                json.dump({"events": list(report.last_events)}, fh, indent=2)
+            print(f"wrote last run's event-kind trace to {args.log}")
+        if report.aborted:
+            return 130
+        return 0 if report.ok else 1
+
+    from repro.core.operators import ADD as _ADD
+    from repro.core.stages import MapStage, Program, ReduceStage, ScanStage
+    from repro.serving import (
+        DeadlineExceededError,
+        JobFailedError,
+        QueueFullError,
+        ServingConfig,
+        ServingManager,
+        TenantQuotaError,
+    )
+
+    params = MachineParams(p=4, ts=args.ts, tw=args.tw, m=args.m)
+    programs = [
+        Program([ScanStage(_ADD)]),
+        Program([ScanStage(_ADD), ReduceStage(_ADD)]),
+    ]
+    mgr = ServingManager(ServingConfig(
+        workers=args.workers, substrate=args.substrate,
+        queue_capacity=max(8, args.jobs * args.tenants),
+        tenant_quota=max(4, args.jobs)))
+    interrupted = False
+    lines: list[str] = []
+    try:
+        with _GracefulStop() as stop:
+            handles = []
+            for j in range(args.jobs):
+                if stop.stopped():
+                    interrupted = True
+                    break
+                for t in range(args.tenants):
+                    handles.append(mgr.submit(
+                        programs[j % len(programs)],
+                        [float(r + j) for r in range(4)],
+                        params, tenant=f"tenant-{t}"))
+            lines.append(f"submitted {len(handles)} job(s) across "
+                         f"{args.tenants} tenant(s)")
+            done = sum(1 for h in handles
+                       if h.result(timeout=120.0) is not None)
+            lines.append(f"completed {done} job(s); sample result: "
+                         f"{handles[0].result()}")
+            interrupted = interrupted or stop.stopped()
+
+            if not interrupted:
+                # the typed-failure tour: each failure mode, loudly typed
+                def boom(x):
+                    raise RuntimeError("deterministic demo failure")
+
+                bad = mgr.submit(Program([MapStage(boom, label="boom")]),
+                                 [0.0] * 4, params)
+                try:
+                    bad.result(timeout=30.0)
+                except JobFailedError as exc:
+                    lines.append(f"deterministic failure is typed: "
+                                 f"{type(exc).__name__}")
+                late = mgr.submit(programs[0], [0.0] * 4, params,
+                                  deadline=0.0)
+                try:
+                    late.result(timeout=30.0)
+                except DeadlineExceededError as exc:
+                    lines.append(f"deadline miss is typed: "
+                                 f"{type(exc).__name__}")
+                tiny = ServingManager(ServingConfig(
+                    workers=1, queue_capacity=1, tenant_quota=1))
+                try:
+                    blocker = Program([MapStage(
+                        lambda x: (__import__("time").sleep(0.2), x)[1],
+                        label="slow")])
+                    tiny.submit(blocker, [0.0] * 2, params, tenant="burst")
+                    try:
+                        tiny.submit(blocker, [0.0] * 2, params,
+                                    tenant="burst")  # quota is 1
+                    except TenantQuotaError as exc:
+                        lines.append(f"per-tenant backpressure is typed: "
+                                     f"{type(exc).__name__}")
+                    try:
+                        for i in range(3):  # queue capacity is 1
+                            tiny.submit(blocker, [0.0] * 2, params,
+                                        tenant=f"other-{i}")
+                    except QueueFullError as exc:
+                        lines.append(f"queue backpressure is typed: "
+                                     f"{type(exc).__name__}")
+                finally:
+                    tiny.close(drain=True, timeout=30.0)
+    finally:
+        mgr.close(drain=True, timeout=60.0)
+        if args.log is not None:
+            mgr.events.write(args.log)
+            lines.append(f"wrote job-lifecycle event log to {args.log}")
+    print("\n".join(lines))
+    print()
+    print(mgr.describe())
+    if interrupted:
+        print("serve demo interrupted: drained in-flight jobs, "
+              "flushed the event log", file=sys.stderr)
+        return 130
     return 0
 
 
@@ -688,6 +905,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_faults(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -81,14 +82,23 @@ def _signature(program: Program) -> tuple[str, ...]:
 # so the scan results can be memoized across calls.  The cache is a bounded
 # LRU; rules are keyed by class identity plus declared name, both stable
 # for the module-level rule singletons (ALL_RULES / FULL_RULES).
+#
+# The LRU is shared by every optimize() call in the process — including
+# the serving runtime's concurrent worker threads — so all structural
+# mutation (lookup+move_to_end, insert, eviction) happens under one lock.
+# OrderedDict.move_to_end racing a popitem corrupts the order book (or
+# KeyErrors outright); a lost duplicate find_matches computation outside
+# the lock is merely redundant work, never a wrong answer.
 
 _MATCH_CACHE: OrderedDict = OrderedDict()
 _MATCH_CACHE_MAX = 4096
+_MATCH_CACHE_LOCK = threading.Lock()
 
 
 def clear_match_cache() -> None:
     """Drop every memoized match scan (tests; rule-registry mutation)."""
-    _MATCH_CACHE.clear()
+    with _MATCH_CACHE_LOCK:
+        _MATCH_CACHE.clear()
 
 
 # Plan caches (repro.core.plancache) register a reset hook here at import
@@ -126,14 +136,18 @@ def _cached_matches(program: Program, rules: tuple[Rule, ...]) -> tuple[Match, .
     generalized Local extension is disabled, which the optimizer never
     does, so cached matches are machine-independent)."""
     key = (_signature(program), _rules_key(rules))
-    hit = _MATCH_CACHE.get(key)
-    if hit is not None:
-        _MATCH_CACHE.move_to_end(key)
-        return hit
+    with _MATCH_CACHE_LOCK:
+        hit = _MATCH_CACHE.get(key)
+        if hit is not None:
+            _MATCH_CACHE.move_to_end(key)
+            return hit
+    # scan outside the lock: concurrent threads may redundantly compute
+    # the same (idempotent) result, but never block each other on it
     matches = tuple(find_matches(program, rules))
-    _MATCH_CACHE[key] = matches
-    if len(_MATCH_CACHE) > _MATCH_CACHE_MAX:
-        _MATCH_CACHE.popitem(last=False)
+    with _MATCH_CACHE_LOCK:
+        _MATCH_CACHE[key] = matches
+        while len(_MATCH_CACHE) > _MATCH_CACHE_MAX:
+            _MATCH_CACHE.popitem(last=False)
     return matches
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -120,6 +121,12 @@ class PlanCache:
             raise ValueError("cache capacity must be at least 1")
         self.path = Path(path) if path is not None else None
         self.capacity = capacity
+        # one cache may be hammered by many serving worker threads at
+        # once: every LRU mutation (get's move_to_end, put's eviction
+        # sweep, counter bumps) happens under this lock — racing them
+        # corrupts the OrderedDict's order book.  Reentrant because
+        # get/put nest through _record/_remember/_evict_bad.
+        self._lock = threading.RLock()
         self._memory: "OrderedDict[str, PlanRecord]" = OrderedDict()
         self._disk: dict[str, PlanRecord] = {}
         self.hits = 0
@@ -206,24 +213,28 @@ class PlanCache:
         """
         rules = tuple(rules)
         key = self.key_for(program, params, rules, strategy, allow_lossy)
-        record = self._record(key)
-        if record is None:
-            self.misses += 1
-            return None
+        with self._lock:
+            record = self._record(key)
+            if record is None:
+                self.misses += 1
+                return None
         try:
             final, steps = replay_trace(program, record.trace, p=params.p,
                                         allow_lossy=allow_lossy)
         except PlanReplayError:
-            self._evict_bad(key)
-            self.misses += 1
+            with self._lock:
+                self._evict_bad(key)
+                self.misses += 1
             return None
         cost_after = program_cost(final, params)
         if abs(cost_after - record.cost_after) > 1e-6 * max(
                 1.0, abs(record.cost_after)):
-            self._evict_bad(key)
-            self.misses += 1
+            with self._lock:
+                self._evict_bad(key)
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return OptimizationResult(
             derivation=Derivation(initial=program, final=final, steps=steps),
             cost_before=program_cost(program, params),
@@ -254,9 +265,10 @@ class PlanCache:
             cost_after=result.cost_after,
             programs_explored=result.programs_explored,
         )
-        self._remember(record)
-        self._disk[key] = record
-        self._flush()
+        with self._lock:
+            self._remember(record)
+            self._disk[key] = record
+            self._flush()
         return record
 
     # -- maintenance ---------------------------------------------------------
@@ -267,26 +279,34 @@ class PlanCache:
         This is what :func:`repro.core.optimizer.clear_planner_caches`
         calls, so optimizer tests cannot leak plan state between cases.
         """
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.replay_failures = 0
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.replay_failures = 0
 
     def clear(self, disk: bool = False) -> None:
         """Forget every cached plan (``disk=True`` also empties the store)."""
-        self.reset_memory()
-        if disk:
-            self._disk.clear()
-            if self.path is not None and self.path.exists():
-                self._flush()
+        with self._lock:
+            self.reset_memory()
+            if disk:
+                self._disk.clear()
+                if self.path is not None and self.path.exists():
+                    self._flush()
 
     def __len__(self) -> int:
-        return len(self._disk) if self.path is not None else len(self._memory)
+        with self._lock:
+            return (len(self._disk) if self.path is not None
+                    else len(self._memory))
 
     def stats(self) -> dict:
         """Counters + sizes, the ``plan stats`` CLI payload."""
-        total = self.hits + self.misses
+        with self._lock:
+            total = self.hits + self.misses
+            return self._stats_locked(total)
+
+    def _stats_locked(self, total: int) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,

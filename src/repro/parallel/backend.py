@@ -60,6 +60,7 @@ import logging
 import multiprocessing
 import os
 import sys
+import threading
 import time
 from typing import Any, Callable, Sequence
 
@@ -76,6 +77,7 @@ from repro.parallel import payload as _payload
 from repro.parallel.errors import (
     ProcessIncidentError,
     WorkerCrashError,
+    WorkerDeadlineError,
     WorkerHangError,
 )
 from repro.parallel.shm import (
@@ -94,6 +96,7 @@ __all__ = [
     "process_spmd_run",
     "simulate_program_process",
     "ProcessStageRunner",
+    "ProcessJobRunner",
 ]
 
 log = logging.getLogger("repro.parallel")
@@ -996,6 +999,128 @@ class ProcessStageRunner:
 
     def close(self) -> None:
         self.arena.close()
+
+
+class ProcessJobRunner:
+    """Serving-side process substrate: pooled arenas, batched jobs.
+
+    The multi-tenant serving runtime (:mod:`repro.serving`) runs every
+    job of its ``"process"`` substrate through one of these.  Two costs
+    dominate small-job serving on real processes — shared-memory segment
+    creation and forking — and the runner amortizes both:
+
+    * **arena reuse** — segments come from a shared
+      :class:`~repro.parallel.shm.ArenaPool`; each :meth:`run_jobs` call
+      acquires a compatible arena in a *fresh epoch* (stragglers of a
+      previous job's killed attempt self-destruct the moment a tick
+      observes the bump, so no state — and no tenant's data — ever leaks
+      between jobs) and releases it afterwards;
+    * **batching** — ``run_jobs`` executes a whole list of jobs sharing
+      ``(p, params)`` in **one fork generation**: every rank process
+      drives the jobs back-to-back over the same rendezvous, so the fork
+      cost is paid once per batch, not once per job.
+
+    Robustness mirrors the supervised stage runner: the PR 7 heartbeat
+    watchdog and epoch fencing guard every batch; a SIGKILLed or hung
+    child surfaces as a typed :class:`~repro.parallel.errors.\
+ProcessIncidentError` (after the remaining children of the attempt are
+    killed); an optional wall-clock ``deadline`` arms a timer that kills
+    the attempt and raises :class:`~repro.parallel.errors.\
+WorkerDeadlineError`.  On any failure the whole batch is abandoned — the
+    serving worker retries the jobs individually, which is what isolates
+    a poison job from its batch-mates.
+    """
+
+    def __init__(self, pool, hb_timeout: float | None = None,
+                 spawn_hook: Callable[[list, dict], None] | None = None) -> None:
+        self.pool = pool
+        self.hb_timeout = (hb_timeout if hb_timeout is not None
+                           else _hb_timeout_default())
+        self.spawn_hook = spawn_hook
+        self.ctx = multiprocessing.get_context("fork")
+
+    def run_jobs(self, entries: Sequence[tuple], params: MachineParams,
+                 deadline: float | None = None,
+                 meta: dict | None = None) -> list[tuple]:
+        """Run ``entries`` (a batch of ``(program, inputs)``) to completion.
+
+        All entries must agree on ``len(inputs)``; returns one per-rank
+        value tuple per entry, in order.  ``deadline`` is an absolute
+        ``time.monotonic()`` instant.  ``meta`` is forwarded to the
+        ``spawn_hook`` (the chaos harness samples kill offsets from it).
+        """
+        from repro.machine.run import execute_stage
+
+        if not entries:
+            return []
+        p = len(entries[0][1])
+        if any(len(inputs) != p for _prog, inputs in entries):
+            raise ValueError("batched jobs must agree on the rank count")
+        programs = [prog for prog, _inputs in entries]
+
+        def rank_program(comm, xs: Any) -> Any:
+            c = comm._ctx
+            out = []
+            for prog, x in zip(programs, xs):
+                for stage in prog.stages:
+                    x = c.drive(execute_stage(c, stage, x))
+                out.append(x)
+            return out
+
+        binputs = [tuple(inputs[rank] for _prog, inputs in entries)
+                   for rank in range(p)]
+        arena = self.pool.acquire(p, _enum_domains(params, p))
+        try:
+            epoch = int(arena.epoch[0])
+            lock = self.ctx.Lock()
+            events = [self.ctx.Event() for _ in range(p)]
+            rdv = _ProcessRendezvous(p, params, arena, lock, events)
+            procs = [self.ctx.Process(target=_child_main,
+                                      args=(rdv, rank_program, binputs,
+                                            rank, epoch),
+                                      daemon=True)
+                     for rank in range(p)]
+            deadline_hit = threading.Event()
+            timer = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise WorkerDeadlineError(0.0, "expired before start")
+
+                def _expire() -> None:
+                    deadline_hit.set()
+                    _kill_all(procs)
+
+                timer = threading.Timer(budget, _expire)
+                timer.daemon = True
+            for proc in procs:
+                proc.start()
+            if timer is not None:
+                timer.start()
+            if self.spawn_hook is not None:
+                self.spawn_hook(procs, {"epoch": epoch, "jobs": len(entries),
+                                        **(meta or {})})
+            try:
+                states, values = _watch_ranks(rdv, procs, self.hb_timeout)
+            except ProcessIncidentError as exc:
+                if deadline_hit.is_set():
+                    raise WorkerDeadlineError(budget,
+                                              rdv.describe_safely()) from exc
+                raise
+            finally:
+                if timer is not None:
+                    timer.cancel()
+                for proc in procs:
+                    proc.join(timeout=5.0)
+                _kill_all(procs)
+            errors = [values[r] for r in range(p) if states[r] == 2]
+            if errors:
+                raise errors[0]
+            # transpose per-rank job lists into per-job rank tuples
+            return [tuple(values[rank][j] for rank in range(p))
+                    for j in range(len(entries))]
+        finally:
+            self.pool.release(arena)
 
 
 def simulate_program_process(program, inputs, params=None, faults=None,

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from repro.faults.errors import FaultError
 
-__all__ = ["ProcessIncidentError", "WorkerCrashError", "WorkerHangError"]
+__all__ = ["ProcessIncidentError", "WorkerCrashError", "WorkerHangError",
+           "WorkerDeadlineError"]
 
 
 class ProcessIncidentError(FaultError):
@@ -75,3 +76,27 @@ class WorkerHangError(ProcessIncidentError):
 
     def __reduce__(self):
         return (type(self), (self.rank, self.silence, self.detail))
+
+
+class WorkerDeadlineError(ProcessIncidentError):
+    """An attempt's children were killed at its wall-clock deadline.
+
+    Raised by :class:`~repro.parallel.backend.ProcessJobRunner` when a
+    job batch's deadline timer fires before the ranks finish: the parent
+    kills every child of the attempt (recovery is respawn-from-scratch,
+    never surgical repair) and surfaces this instead of the incidental
+    :class:`WorkerCrashError` the kills would otherwise produce.  The
+    serving runtime maps it to its typed ``DeadlineExceededError``.
+    """
+
+    def __init__(self, budget: float, detail: str = "") -> None:
+        self.rank = -1
+        self.budget = budget
+        self.detail = detail
+        msg = f"attempt exceeded its {budget:.3f}s wall-clock deadline"
+        if detail:
+            msg += "\n" + detail
+        super().__init__(msg)
+
+    def __reduce__(self):
+        return (type(self), (self.budget, self.detail))

@@ -46,12 +46,14 @@ live here too — see :mod:`repro.parallel.faultshare`.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArena", "RingTimeout", "DEFAULT_SLOT_BYTES", "DEFAULT_SLOTS"]
+__all__ = ["SharedArena", "ArenaPool", "RingTimeout",
+           "DEFAULT_SLOT_BYTES", "DEFAULT_SLOTS"]
 
 #: default chunk-slot size (bytes); one ring is ``slots * slot_bytes``
 DEFAULT_SLOT_BYTES = 1 << 18
@@ -374,6 +376,97 @@ class _Reader:
         while not self.done:
             _spin(self.ready, f"rank {self.src} outbox empty", tick=tick)
             self.step()
+
+
+class ArenaPool:
+    """Reuse :class:`SharedArena` segments across serving jobs.
+
+    Creating a shared-memory segment is a syscall-heavy operation (shm
+    create + map + unlink on close); a serving worker running thousands
+    of small jobs must not pay it per job.  The pool keeps closed-over
+    arenas keyed by their physical signature ``(p, n_domains, slot_bytes,
+    slots)``: :meth:`acquire` hands back a compatible arena (after
+    :meth:`SharedArena.reset_for_epoch`, so stragglers of the previous
+    job's generation self-destruct and no state leaks between jobs or
+    tenants) or creates one; :meth:`release` returns it for the next job.
+
+    ``n_domains`` participates in the key via a *capacity* match — an
+    arena allocated for ``d`` contention domains serves any job needing
+    ``<= d`` (the rendezvous indexes only the first ``d'`` entries and
+    ``reset_for_epoch`` zeroes them all), so machines with differing
+    hierarchical shapes still share segments.
+
+    Thread-safe: serving workers may share one pool.  ``max_idle`` bounds
+    how many arenas idle per key (excess ones are closed eagerly —
+    shared-memory is a bounded host resource).
+    """
+
+    def __init__(self, max_idle: int = 2,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 slots: int = DEFAULT_SLOTS) -> None:
+        self.max_idle = max(1, int(max_idle))
+        self.slot_bytes = int(slot_bytes)
+        self.slots = int(slots)
+        self._lock = threading.Lock()
+        self._idle: dict[tuple[int, int], list[SharedArena]] = {}
+        self._closed = False
+        self.created = 0
+        self.reused = 0
+
+    def _key(self, p: int, n_domains: int) -> tuple[int, int]:
+        # round the domain capacity up to a small set of size classes so
+        # near-miss machines share arenas instead of fragmenting the pool
+        cap = 1
+        while cap < max(n_domains, 1):
+            cap *= 2
+        return (p, cap)
+
+    def acquire(self, p: int, n_domains: int = 0) -> SharedArena:
+        """A fresh-epoch arena for a ``p``-rank job (reused when possible)."""
+        key = self._key(p, n_domains)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena pool is closed")
+            idle = self._idle.get(key)
+            if idle:
+                arena = idle.pop()
+                self.reused += 1
+                arena.reset_for_epoch()
+                return arena
+        arena = SharedArena(p, n_domains=key[1], slot_bytes=self.slot_bytes,
+                            slots=self.slots)
+        arena._pool_key = key
+        with self._lock:
+            self.created += 1
+        return arena
+
+    def release(self, arena: SharedArena) -> None:
+        """Return ``arena`` to the pool (closed if the pool is full/closed)."""
+        key = getattr(arena, "_pool_key", None)
+        with self._lock:
+            if not self._closed and key is not None:
+                idle = self._idle.setdefault(key, [])
+                if len(idle) < self.max_idle:
+                    idle.append(arena)
+                    return
+        arena.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "created": self.created,
+                "reused": self.reused,
+                "idle": sum(len(v) for v in self._idle.values()),
+            }
+
+    def close(self) -> None:
+        """Unlink every pooled segment (idempotent; pool unusable after)."""
+        with self._lock:
+            self._closed = True
+            arenas = [a for idle in self._idle.values() for a in idle]
+            self._idle.clear()
+        for arena in arenas:
+            arena.close()
 
 
 def duplex(writer: _Writer, reader: _Reader, tick=None) -> None:

@@ -1,0 +1,56 @@
+"""Thread-safe job-lifecycle event emission onto a :class:`RecoveryLog`.
+
+The serving runtime reuses the recovery log as its flight recorder —
+schema v2 extended the supervision vocabulary with the job lifecycle
+(``submit``/``admit``/``reject``/``start``/``retry``/``quarantine``/
+``deadline_miss``/``complete``/``fallback``) precisely so one artifact
+tells the whole story.  But a :class:`RecoveryLog` is a bare list built
+for the single-threaded supervisor; the serving manager's submitters and
+workers emit concurrently, so this bus serializes every append under one
+lock and adds a monotonic sequence number to each event (concurrent
+emission has no other global order to lean on).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.recovery.events import RecoveryLog
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Locked facade over a :class:`RecoveryLog` for concurrent emitters."""
+
+    def __init__(self, log: RecoveryLog | None = None) -> None:
+        self.log = log if log is not None else RecoveryLog()
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        with self._lock:
+            self._seq += 1
+            return self.log.emit(event, seq=self._seq, **fields)
+
+    def kinds(self) -> tuple[str, ...]:
+        with self._lock:
+            return self.log.kinds()
+
+    def of_kind(self, event: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return self.log.of_kind(event)
+
+    def write(self, path) -> None:
+        """Flush the underlying log's JSON document to ``path``."""
+        with self._lock:
+            self.log.write(path)
+
+    def describe(self) -> str:
+        with self._lock:
+            return self.log.describe()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.log.events)

@@ -1,0 +1,355 @@
+"""The serving manager: admission, dispatch, degradation, shutdown.
+
+:class:`ServingManager` is the front door of the multi-tenant runtime.
+``submit`` performs admission control synchronously — manager open,
+tenant under quota, queue under capacity, each violation a typed error —
+then parks the job on the fair queue and returns a
+:class:`~repro.serving.job.JobHandle`.  A pool of worker threads
+(:class:`~repro.serving.worker.WorkerPool`) drains the queue through the
+pooled-arena process runner or the in-process engines, running the
+deadline/retry/quarantine ladder per job.
+
+The :class:`CircuitBreaker` guards the execution substrate the way
+``RecoveryPolicy.process_fallback_after`` guards a supervised run: after
+``demote_after`` *consecutive* worker incidents the manager drops one
+rung down the ladder ``process → threaded → cooperative`` — loudly (a
+``fallback`` event plus a warning log), never silently, and never the
+reverse direction mid-stream (flapping between substrates would make
+incident attribution meaningless).  Results are engine-independent by
+the conformance contract, so degradation trades wall-clock for
+stability, never correctness.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.cost import MachineParams
+from repro.core.stages import Program
+from repro.parallel.backend import ProcessJobRunner, process_fallback_reason
+from repro.parallel.shm import ArenaPool
+from repro.recovery.events import RecoveryLog
+from repro.serving.deadline import RetryPolicy
+from repro.serving.events import EventBus
+from repro.serving.job import (
+    DeadlineExceededError,
+    Job,
+    JobFailedError,
+    JobHandle,
+    ManagerClosedError,
+    PoisonJobError,
+    QueueFullError,
+    TenantQuotaError,
+)
+from repro.serving.queue import FairQueue
+from repro.serving.quota import TenantQuotas
+
+__all__ = ["ServingConfig", "ServingManager", "CircuitBreaker", "SUBSTRATES"]
+
+logger = logging.getLogger("repro.serving")
+
+#: the degradation ladder, most parallel first
+SUBSTRATES = ("process", "threaded", "cooperative")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs of a :class:`ServingManager`.
+
+    ``substrate`` is the *initial* rung of the degradation ladder;
+    ``demote_after`` consecutive worker incidents drop one rung.
+    ``queue_capacity`` bounds total queued jobs (typed backpressure);
+    ``tenant_quota`` bounds one tenant's in-flight jobs (``None`` =
+    unlimited; ``tenant_limits`` overrides per tenant).
+    ``default_deadline`` (seconds) applies to jobs submitted without an
+    explicit one.  ``batch_max`` caps how many same-shape jobs share one
+    fork generation on the process substrate.  ``spawn_hook`` is the
+    chaos harness's seam — called with every attempt's child processes.
+    """
+
+    workers: int = 2
+    queue_capacity: int = 256
+    tenant_quota: int | None = None
+    tenant_limits: dict[str, int] | None = None
+    default_deadline: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    substrate: str = "cooperative"
+    batch_max: int = 16
+    demote_after: int = 3
+    hb_timeout: float | None = None
+    max_idle_arenas: int = 2
+    spawn_hook: Callable[[list, dict], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.substrate not in SUBSTRATES:
+            raise ValueError(f"unknown substrate {self.substrate!r} "
+                             f"(expected one of {SUBSTRATES})")
+        for knob in ("workers", "queue_capacity", "batch_max",
+                     "demote_after"):
+            if getattr(self, knob) < 1:
+                raise ValueError(f"{knob} must be at least 1")
+
+
+class CircuitBreaker:
+    """Consecutive-incident counter driving substrate demotion."""
+
+    def __init__(self, initial: str, demote_after: int,
+                 events: EventBus) -> None:
+        self._ladder = SUBSTRATES[SUBSTRATES.index(initial):]
+        self._rung = 0
+        self._streak = 0
+        self.demote_after = max(1, demote_after)
+        self.demotions = 0
+        self.events = events
+        self._lock = threading.Lock()
+
+    @property
+    def substrate(self) -> str:
+        with self._lock:
+            return self._ladder[self._rung]
+
+    def record_incident(self, exc: BaseException | None = None) -> None:
+        with self._lock:
+            self._streak += 1
+            if (self._streak < self.demote_after
+                    or self._rung >= len(self._ladder) - 1):
+                return
+            src = self._ladder[self._rung]
+            self._rung += 1
+            self._streak = 0
+            self.demotions += 1
+            dst = self._ladder[self._rung]
+        reason = (f"{type(exc).__name__}: {str(exc).splitlines()[0]}"
+                  if exc is not None else "incident streak")
+        self.events.emit("fallback", scope="serving", source=src,
+                         target=dst, reason=reason)
+        logger.warning("serving substrate demoted %s -> %s after %d "
+                       "consecutive incidents (%s)", src, dst,
+                       self.demote_after, reason)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._streak = 0
+
+    def force(self, substrate: str, reason: str) -> None:
+        """Jump straight to ``substrate`` (platform can't do better)."""
+        with self._lock:
+            if substrate not in self._ladder:
+                return
+            rung = self._ladder.index(substrate)
+            if rung <= self._rung:
+                return
+            src = self._ladder[self._rung]
+            self._rung = rung
+            self._streak = 0
+            self.demotions += 1
+        self.events.emit("fallback", scope="serving", source=src,
+                         target=substrate, reason=reason)
+        logger.warning("serving substrate forced %s -> %s (%s)",
+                       src, substrate, reason)
+
+
+class ServingManager:
+    """Accepts a stream of jobs and serves them to completion.
+
+    Usable as a context manager (``close(drain=True)`` on exit).  All
+    public methods are thread-safe; many client threads may ``submit``
+    concurrently.
+    """
+
+    def __init__(self, config: ServingConfig | None = None,
+                 log: RecoveryLog | None = None) -> None:
+        from repro.serving.worker import WorkerPool
+
+        self.config = config or ServingConfig()
+        self.events = EventBus(log)
+        self.queue = FairQueue(self.config.queue_capacity)
+        self.quotas = TenantQuotas(self.config.tenant_quota,
+                                   self.config.tenant_limits)
+        self.breaker = CircuitBreaker(self.config.substrate,
+                                      self.config.demote_after, self.events)
+        self.pool = ArenaPool(max_idle=self.config.max_idle_arenas)
+        self.runner = ProcessJobRunner(self.pool,
+                                       hb_timeout=self.config.hb_timeout,
+                                       spawn_hook=self.config.spawn_hook)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._abort = threading.Event()
+        self.counters = {
+            "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
+            "quarantined": 0, "deadline_misses": 0, "retries": 0,
+        }
+        self.workers = WorkerPool(self, self.config.workers)
+        self.workers.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, program: Program, inputs: Sequence[Any],
+               params: MachineParams, tenant: str = "default",
+               deadline: float | None = None) -> JobHandle:
+        """Admit one job or raise a typed admission error.
+
+        ``deadline`` is a wall-clock budget in seconds covering the
+        job's whole life (queueing, every attempt, every backoff).
+        Raises :class:`ManagerClosedError`, :class:`TenantQuotaError` or
+        :class:`QueueFullError`; on success the returned handle resolves
+        to the per-rank value tuple (or a typed execution failure).
+        """
+        with self._lock:
+            if self._closed:
+                raise ManagerClosedError(
+                    "manager is closed; no further jobs are accepted")
+        budget = deadline if deadline is not None \
+            else self.config.default_deadline
+        deadline_at = (time.monotonic() + budget) if budget is not None \
+            else None
+        job = Job.create(program, inputs, params, tenant,
+                         deadline_at=deadline_at, budget=budget)
+        self.events.emit("submit", job=job.job_id, tenant=tenant, p=job.p)
+        try:
+            self.quotas.admit(tenant)
+        except TenantQuotaError:
+            self._count("rejected")
+            self.events.emit("reject", job=job.job_id, tenant=tenant,
+                             reason="tenant_quota")
+            raise
+        try:
+            self.queue.push(job)
+        except QueueFullError:
+            self.quotas.release(tenant)
+            self._count("rejected")
+            self.events.emit("reject", job=job.job_id, tenant=tenant,
+                             reason="queue_full")
+            raise
+        self._count("submitted")
+        self.events.emit("admit", job=job.job_id, tenant=tenant,
+                         depth=len(self.queue))
+        return job.handle
+
+    # -- worker-side callbacks ----------------------------------------------
+
+    def substrate_for(self, job: Job) -> str:
+        """The current rung, after the platform gate for process jobs."""
+        substrate = self.breaker.substrate
+        if substrate == "process":
+            reason = process_fallback_reason(job.p)
+            if reason is not None:
+                self.breaker.force("threaded", reason=reason)
+                substrate = self.breaker.substrate
+        return substrate
+
+    def record_incident(self, exc: BaseException) -> None:
+        self.breaker.record_incident(exc)
+
+    def record_success(self) -> None:
+        self.breaker.record_success()
+
+    def count_retry(self) -> None:
+        self._count("retries")
+
+    def complete_job(self, job: Job, values: tuple) -> None:
+        self.events.emit("complete", job=job.job_id, tenant=job.tenant,
+                         status="ok", attempts=job.attempts)
+        self._count("completed")
+        self.quotas.release(job.tenant)
+        job.handle._fulfill(values)
+
+    def fail_job(self, job: Job, error: BaseException,
+                 counter: str = "failed") -> None:
+        self.events.emit("complete", job=job.job_id, tenant=job.tenant,
+                         status="failed", error=type(error).__name__,
+                         attempts=job.attempts)
+        self._count(counter)
+        self.quotas.release(job.tenant)
+        job.handle._fail(error)
+
+    def fail_deterministic(self, job: Job, cause: BaseException) -> None:
+        self.fail_job(job, JobFailedError(job.job_id, cause))
+
+    def deadline_miss(self, job: Job, detail: str = "") -> None:
+        self._count("deadline_misses")
+        self.events.emit("deadline_miss", job=job.job_id, tenant=job.tenant,
+                         budget=job.budget, attempts=job.attempts)
+        self.fail_job(job, DeadlineExceededError(
+            job.job_id, job.budget or 0.0, detail))
+
+    def quarantine_job(self, job: Job) -> None:
+        self._count("quarantined")
+        self.events.emit("quarantine", job=job.job_id, tenant=job.tenant,
+                         crashes=job.crashes, forensics=list(job.forensics))
+        self.fail_job(job, PoisonJobError(job.job_id, job.crashes,
+                                          job.forensics))
+
+    def aborting(self) -> bool:
+        return self._abort.is_set()
+
+    def queue_closed(self) -> bool:
+        with self._lock:
+            return self._closed and len(self.queue) == 0
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self.counters[key] += 1
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop accepting jobs and wind the pool down.
+
+        ``drain=True`` lets queued and in-flight jobs finish (their
+        retries included); ``drain=False`` aborts — queued jobs fail
+        with :class:`ManagerClosedError` and in-flight retry ladders cut
+        straight to the same error.  Idempotent.  Returns ``True`` when
+        every worker exited within ``timeout``.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already and not drain:
+            self._abort.set()
+            for job in self.queue.drain():
+                self.fail_job(job, ManagerClosedError(
+                    f"job {job.job_id} cancelled: manager closed "
+                    f"without drain"))
+        self.queue.close()
+        done = self.workers.join(timeout)
+        if done:
+            self.pool.close()
+        return done
+
+    def __enter__(self) -> "ServingManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc == (None, None, None))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters + live state, the ``serve`` CLI / bench payload."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            **counters,
+            "queue_depth": len(self.queue),
+            "inflight": self.quotas.snapshot(),
+            "substrate": self.breaker.substrate,
+            "demotions": self.breaker.demotions,
+            "arena_pool": self.pool.stats(),
+            "events": len(self.events),
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (f"serving: {s['completed']}/{s['submitted']} jobs done, "
+                f"{s['failed']} failed, {s['rejected']} rejected, "
+                f"{s['quarantined']} quarantined, "
+                f"{s['deadline_misses']} deadline misses, "
+                f"{s['retries']} retries\n"
+                f"  substrate={s['substrate']} (demotions={s['demotions']}) "
+                f"queue_depth={s['queue_depth']} "
+                f"arenas={s['arena_pool']}")

@@ -32,10 +32,12 @@ same generated programs replayed under sampled fault plans
 from repro.testing.chaos import (
     ChaosFailure,
     ChaosReport,
+    ServingChaosReport,
     faulted_run,
     recovered_run,
     run_chaos,
     run_chaos_recovery,
+    run_serving_chaos,
 )
 from repro.testing.conformance import (
     PAPER_RULES,
@@ -76,6 +78,8 @@ __all__ = [
     "recovered_run",
     "run_chaos",
     "run_chaos_recovery",
+    "ServingChaosReport",
+    "run_serving_chaos",
     "PAPER_RULES",
     "CaseFailure",
     "ConformanceReport",

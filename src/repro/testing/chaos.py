@@ -52,7 +52,8 @@ from repro.testing.generator import (
 from repro.testing.soundness import sample_machine_params
 
 __all__ = ["ChaosFailure", "ChaosReport", "Outcome", "faulted_run",
-           "recovered_run", "run_chaos", "run_chaos_recovery"]
+           "recovered_run", "run_chaos", "run_chaos_recovery",
+           "ServingChaosReport", "run_serving_chaos"]
 
 _CYCLE = len(RULE_CASES) + 1  # mirror the fault-free conformance deck
 
@@ -148,6 +149,8 @@ class ChaosReport:
     failures: list[ChaosFailure] = field(default_factory=list)
     #: True for --recover mode (supervised runs; "completed" = recovered)
     recover: bool = False
+    #: True when a stop request (SIGINT/SIGTERM) cut the run short
+    aborted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -157,7 +160,8 @@ class ChaosReport:
         mode = "chaos recovery" if self.recover else "chaos conformance"
         lines = [
             f"{mode}: seed={self.seed} iters={self.iters} "
-            f"plans/case={self.plans_per_case}",
+            f"plans/case={self.plans_per_case}"
+            + (" [ABORTED by stop request]" if self.aborted else ""),
             f"  cases             : {self.cases}",
             f"  faulted runs      : {self.plan_runs}",
             f"  completed         : {self.completed} "
@@ -265,12 +269,16 @@ def run_chaos(
     machine_sizes: Sequence[int] = (2, 3, 4, 5, 8),
     max_failures: int = 5,
     engines: Sequence[str] = DEFAULT_ENGINES,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ChaosReport:
     """Run ``iters`` chaos cases; stop early after ``max_failures``.
 
     ``engines`` is the comparison deck: every plan runs on each engine
     and all outcomes must agree with the first (the reference).  Add
     ``"process"`` to stress real forked workers under the same plans.
+    ``should_stop`` is polled between cases (the CLI's SIGINT/SIGTERM
+    seam): a true return finishes the current case, marks the report
+    ``aborted`` and returns what was gathered so far.
     """
     rules = tuple(rules)
     engines = tuple(engines)
@@ -286,6 +294,9 @@ def run_chaos(
 
     sizes = [s for s in machine_sizes if s >= 2] or [2]
     for i in range(iters):
+        if should_stop is not None and should_stop():
+            report.aborted = True
+            break
         case_seed = seed * 1_000_003 + i
         rng = random.Random(case_seed)
         slot = i % _CYCLE
@@ -341,6 +352,266 @@ def run_chaos(
 
 
 # ---------------------------------------------------------------------------
+# Serving chaos: SIGKILL workers under a live multi-tenant manager
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServingChaosReport:
+    """Aggregate outcome of one serving chaos roulette."""
+
+    seed: int
+    runs: int
+    jobs: int = 0
+    completed: int = 0
+    typed_failures: int = 0
+    kills: int = 0
+    poison_runs: int = 0
+    retries: int = 0
+    demotions: int = 0
+    error_kinds: Counter = field(default_factory=Counter)
+    failures: list[str] = field(default_factory=list)
+    #: the last run's recovery-event kinds (uploaded as a CI artifact)
+    last_events: tuple[str, ...] = ()
+    #: True when a stop request (SIGINT/SIGTERM) cut the run short
+    aborted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"serving chaos: seed={self.seed} runs={self.runs}"
+            + (" [ABORTED by stop request]" if self.aborted else ""),
+            f"  jobs              : {self.jobs}",
+            f"  completed         : {self.completed}",
+            f"  typed failures    : {self.typed_failures}",
+            f"  worker kills      : {self.kills}",
+            f"  poison scenarios  : {self.poison_runs}",
+            f"  retries observed  : {self.retries}",
+            f"  demotions         : {self.demotions}",
+        ]
+        for kind in sorted(self.error_kinds):
+            lines.append(f"  {kind:<18}: {self.error_kinds[kind]}")
+        if self.failures:
+            lines.append(f"  FAILURES: {len(self.failures)}")
+            for failure in self.failures:
+                lines.append("")
+                lines.append(failure)
+        else:
+            lines.append("  all serving chaos checks passed")
+        return "\n".join(lines)
+
+
+def run_serving_chaos(
+    seed: int = 0,
+    runs: int = 20,
+    tenants: int = 3,
+    jobs_per_tenant: int = 4,
+    kill_prob: float = 0.6,
+    poison_prob: float = 0.25,
+    max_failures: int = 5,
+    result_timeout: float = 120.0,
+    should_stop: Callable[[], bool] | None = None,
+) -> ServingChaosReport:
+    """SIGKILL roulette against a live :class:`ServingManager`.
+
+    Each run boots a fresh manager on the ``"process"`` substrate, has
+    ``tenants`` tenants submit small jobs with known references, and
+    arms a sniper in the manager's ``spawn_hook`` that SIGKILLs a random
+    child of a random attempt shortly after fork (with probability
+    ``kill_prob`` per attempt).  With probability ``poison_prob`` the
+    run instead designates one job as *poison*: every one of its
+    attempts is killed, so it must end in ``PoisonJobError``.
+
+    Invariants checked per job — each violation is one report entry:
+
+    1. **never hangs** — every handle resolves within ``result_timeout``
+       (the manager's watchdog + retry ladder must converge);
+    2. **bit-identical or typed** — a handle yields exactly the
+       fault-free reference values, or raises a ``ServingError``
+       subclass; anything else (wrong values, untyped exception) fails;
+    3. **tenant isolation** — tenants whose jobs were never killed must
+       complete every job bit-identically (a kill in tenant A's fork
+       generation must not leak into tenant B's results);
+    4. **poison containment** — the poison tenant's job is quarantined
+       with forensics while every other tenant still completes
+       bit-identically.  (The poison job rides a dedicated tenant so its
+       designation is known *before* submission — batches never cross
+       tenants, so every kill it attracts stays inside its own fork
+       generations.)
+
+    Requires a platform that can actually run the process backend
+    (``process_fallback_reason(2) is None``) — callers gate on that.
+    """
+    import os
+    import signal
+    import threading
+
+    from repro.core.operators import ADD, CONCAT
+    from repro.core.stages import Program, ReduceStage, ScanStage
+    from repro.serving import (
+        PoisonJobError,
+        RetryPolicy,
+        ServingConfig,
+        ServingError,
+        ServingManager,
+    )
+
+    report = ServingChaosReport(seed=seed, runs=runs)
+    decks = [
+        Program([ScanStage(ADD)]),
+        Program([ScanStage(ADD), ReduceStage(ADD)]),
+        Program([ScanStage(CONCAT)]),
+    ]
+
+    for run in range(runs):
+        if should_stop is not None and should_stop():
+            report.aborted = True
+            break
+        rng = random.Random(seed * 1_000_003 + run)
+        p = rng.choice((2, 4))
+        params = sample_machine_params(rng).with_(p=p)
+        poison_run = rng.random() < poison_prob
+        if poison_run:
+            report.poison_runs += 1
+
+        # build the tenant workload with fault-free references up front;
+        # the poison job (if any) rides its own tenant so the sniper can
+        # recognize it before its first fork
+        POISON_TENANT = "tenant-poison"
+        workload: list[tuple[str, Program, list, tuple]] = []
+        for t in range(tenants):
+            tenant = f"tenant-{t}"
+            for j in range(jobs_per_tenant):
+                program = rng.choice(decks)
+                if program.stages[0].op is CONCAT:
+                    xs = [f"r{r}j{j}" for r in range(p)]
+                else:
+                    xs = [float(rng.randrange(100)) for _ in range(p)]
+                ref = tuple(simulate_program(program, list(xs),
+                                             params).values)
+                workload.append((tenant, program, xs, ref))
+        if poison_run:
+            program = decks[0]
+            xs = [float(r) for r in range(p)]
+            ref = tuple(simulate_program(program, list(xs), params).values)
+            workload.append((POISON_TENANT, program, xs, ref))
+
+        kill_lock = threading.Lock()
+        killed_tenants: set[str] = set()
+        kill_count = [0]
+        hook_rng = random.Random(seed * 7919 + run)
+
+        def sniper(procs, meta):
+            is_poison = meta.get("tenant") == POISON_TENANT
+            if not is_poison and hook_rng.random() >= kill_prob:
+                return
+            victim = procs[hook_rng.randrange(len(procs))]
+
+            def fire():
+                try:
+                    os.kill(victim.pid, signal.SIGKILL)
+                except (ProcessLookupError, TypeError):
+                    return
+                with kill_lock:
+                    kill_count[0] += 1
+                    killed_tenants.add(meta.get("tenant", "?"))
+
+            if is_poison:
+                # the poison job must die every attempt: kill at spawn,
+                # synchronously, while the child is still in startup
+                fire()
+            else:
+                timer = threading.Timer(hook_rng.uniform(0.0, 0.02), fire)
+                timer.daemon = True
+                timer.start()
+
+        mgr = ServingManager(ServingConfig(
+            workers=2, substrate="process", batch_max=4,
+            retry=RetryPolicy(quarantine_after=3, backoff_base=0.01,
+                              backoff_cap=0.05),
+            demote_after=10_000,  # keep kills on the process substrate
+            spawn_hook=sniper,
+        ))
+        handles = []
+        try:
+            for tenant, program, xs, _ref in workload:
+                handles.append(mgr.submit(program, xs, params,
+                                          tenant=tenant))
+            report.jobs += len(handles)
+
+            outcomes: list[tuple[str, Any]] = []  # ("ok", values) | ("err", exc)
+            for handle, (tenant, program, xs, ref) in zip(handles, workload):
+                try:
+                    values = handle.result(timeout=result_timeout)
+                except ServingError as exc:
+                    outcomes.append(("err", exc))
+                    report.typed_failures += 1
+                    report.error_kinds[type(exc).__name__] += 1
+                except TimeoutError:
+                    outcomes.append(("hang", None))
+                    report.failures.append(
+                        f"[never-hangs] run {run} seed {seed}: job "
+                        f"{handle.job_id} (tenant {tenant}) unresolved "
+                        f"after {result_timeout}s\n"
+                        f"program  : {program.pretty()}\n"
+                        f"stats    : {mgr.stats()}")
+                except BaseException as exc:  # noqa: BLE001 - the property
+                    outcomes.append(("err", exc))
+                    report.failures.append(
+                        f"[typed-errors] run {run} seed {seed}: job "
+                        f"{handle.job_id} raised untyped "
+                        f"{type(exc).__name__}: {exc}")
+                else:
+                    outcomes.append(("ok", values))
+                    report.completed += 1
+                    if values != ref:
+                        report.failures.append(
+                            f"[bit-identical] run {run} seed {seed}: job "
+                            f"{handle.job_id} (tenant {tenant}) returned "
+                            f"wrong values\ngot      : {list(values)}\n"
+                            f"reference: {list(ref)}")
+
+            with kill_lock:
+                survivors = ({t for t, *_ in workload} - killed_tenants
+                             - {POISON_TENANT})
+            for handle, (tenant, program, xs, ref), (kind, payload) in zip(
+                    handles, workload, outcomes):
+                if tenant in survivors and kind != "ok":
+                    report.failures.append(
+                        f"[tenant-isolation] run {run} seed {seed}: tenant "
+                        f"{tenant} never had a worker killed, yet job "
+                        f"{handle.job_id} ended {kind}: {payload}")
+
+            if poison_run:
+                kind, payload = outcomes[-1]  # the poison tenant's job
+                if not (kind == "err"
+                        and isinstance(payload, PoisonJobError)):
+                    report.failures.append(
+                        f"[poison-quarantine] run {run} seed {seed}: "
+                        f"poison job {handles[-1].job_id} ended "
+                        f"{kind}: {payload} (expected PoisonJobError)")
+                elif not payload.forensics:
+                    report.failures.append(
+                        f"[poison-forensics] run {run} seed {seed}: "
+                        f"quarantined job carries no forensics")
+        finally:
+            mgr.close(drain=False, timeout=30.0)
+        stats = mgr.stats()
+        report.retries += stats["retries"]
+        report.demotions += stats["demotions"]
+        with kill_lock:
+            report.kills += kill_count[0]
+        report.last_events = mgr.events.kinds()
+
+        if len(report.failures) >= max_failures:
+            break
+
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Chaos with recovery (--recover): supervised runs must recover or refuse
 # ---------------------------------------------------------------------------
 
@@ -383,6 +654,7 @@ def run_chaos_recovery(
     max_failures: int = 5,
     policy=None,
     engines: Sequence[str] = DEFAULT_ENGINES,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ChaosReport:
     """Chaos with the recovery runtime in the loop (``--chaos --recover``).
 
@@ -413,6 +685,9 @@ def run_chaos_recovery(
 
     sizes = [s for s in machine_sizes if s >= 2] or [2]
     for i in range(iters):
+        if should_stop is not None and should_stop():
+            report.aborted = True
+            break
         case_seed = seed * 1_000_003 + i
         rng = random.Random(case_seed)
         slot = i % _CYCLE

@@ -1,0 +1,151 @@
+"""Optimizer caches under thread contention: the serving-tier hammer.
+
+The serving worker pool calls ``optimize`` from many threads at once,
+which makes the process-global match-cache LRU and any shared
+:class:`PlanCache` instance concurrency hot spots.  OrderedDict LRUs
+corrupt silently under unlocked concurrent mutation (lost entries,
+``KeyError`` during ``move_to_end``, broken links), so both caches
+serialize mutations behind a lock.  These tests hammer each cache from
+8 threads and assert nothing corrupts, no exception escapes, and the
+results stay bit-identical to single-threaded optimization.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.cost import MachineParams
+from repro.core.operators import ADD, MUL
+from repro.core.optimizer import clear_match_cache, optimize
+from repro.core.plancache import PlanCache
+from repro.core.stages import (
+    AllReduceStage,
+    BcastStage,
+    MapStage,
+    Program,
+    ReduceStage,
+    ScanStage,
+)
+
+THREADS = 8
+ROUNDS = 40
+
+PARAMS = [MachineParams(p=p, ts=ts, tw=tw, m=1)
+          for p in (2, 4, 8) for ts, tw in ((5.0, 0.5), (600.0, 2.0))]
+
+PROGRAMS = [
+    Program([ScanStage(ADD), ReduceStage(ADD)], name="scan-red"),
+    Program([BcastStage(), ScanStage(ADD)], name="bcast-scan"),
+    Program([MapStage(lambda x: x + 1.0, label="inc"),
+             AllReduceStage(MUL)], name="map-allred"),
+    Program([ScanStage(ADD), ScanStage(MUL)], name="scan-scan"),
+]
+
+
+def _hammer(work, threads=THREADS):
+    """Run ``work(tid)`` on ``threads`` threads; re-raise any failure."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def body(tid):
+        try:
+            barrier.wait(timeout=30.0)
+            work(tid)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    ts = [threading.Thread(target=body, args=(i,)) for i in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join(timeout=120.0)
+    assert not any(t.is_alive() for t in ts), "hammer thread hung"
+    if errors:
+        raise errors[0]
+
+
+def test_match_cache_hammer_is_bit_identical():
+    """8 threads optimizing the same corpus concurrently produce the
+    exact plans (canonical rendering) single-threaded optimization does — the shared match
+    LRU never corrupts or cross-wires entries."""
+    clear_match_cache()
+    expected = {(prog.name, params): optimize(prog, params).program.pretty()
+                for prog in PROGRAMS for params in PARAMS}
+    results: dict[int, dict] = {}
+
+    def work(tid):
+        mine = {}
+        for round_no in range(ROUNDS):
+            for prog in PROGRAMS:
+                for params in PARAMS:
+                    res = optimize(prog, params)
+                    mine[(prog.name, params)] = res.program.pretty()
+        results[tid] = mine
+
+    _hammer(work)
+    for tid in range(THREADS):
+        assert results[tid] == expected, f"thread {tid} diverged"
+
+
+def test_match_cache_hammer_with_concurrent_clears():
+    """clear_match_cache racing 8 optimizing threads: clears are a
+    legal (if unhelpful) concurrent operation and must never corrupt
+    the LRU or crash an optimize in flight."""
+    clear_match_cache()
+    stop = threading.Event()
+
+    def work(tid):
+        if tid == 0:
+            while not stop.is_set():
+                clear_match_cache()
+        else:
+            try:
+                for _ in range(ROUNDS):
+                    for prog in PROGRAMS[:2]:
+                        optimize(prog, PARAMS[0])
+            finally:
+                if tid == 1:
+                    stop.set()
+
+    _hammer(work)
+
+
+def test_plancache_hammer_counters_and_entries_consistent(tmp_path):
+    """8 threads hitting one PlanCache: every get/put survives, the LRU
+    length respects capacity, and hits + misses add up."""
+    cache = PlanCache(tmp_path / "plans.json", capacity=16)
+    params = PARAMS[0]
+
+    def work(tid):
+        for round_no in range(ROUNDS):
+            for prog in PROGRAMS:
+                plan = cache.get(prog, params)
+                if plan is None:
+                    res = optimize(prog, params)
+                    cache.put(prog, params, res)
+
+    _hammer(work)
+    stats = cache.stats()
+    assert stats["memory_entries"] <= 16
+    assert stats["hits"] + stats["misses"] >= THREADS * ROUNDS * len(PROGRAMS)
+    # after the stampede settles, every program is served from cache
+    for prog in PROGRAMS:
+        assert cache.get(prog, params) is not None
+
+
+def test_plancache_hammer_with_eviction_pressure(tmp_path):
+    """Capacity far below the working set: constant eviction churn from
+    8 threads must not corrupt the LRU's internal order."""
+    cache = PlanCache(tmp_path / "plans.json", capacity=3)
+
+    def work(tid):
+        for round_no in range(ROUNDS // 2):
+            for prog in PROGRAMS:
+                for params in PARAMS[:4]:
+                    if cache.get(prog, params) is None:
+                        cache.put(prog, params, optimize(prog, params))
+
+    _hammer(work)
+    stats = cache.stats()
+    assert stats["memory_entries"] <= 3
+    assert stats["evictions"] > 0  # the pressure was real

@@ -218,3 +218,71 @@ class TestCodegenCommand:
 
     def test_codegen_bad_file(self, capsys):
         assert main(["codegen", "/no/such/file"]) == 1
+
+
+class TestServeCommand:
+    def test_serve_demo(self, capsys, tmp_path):
+        log = tmp_path / "serving.json"
+        code, out = run_cli(capsys, "serve", "demo", "--jobs", "6",
+                            "--tenants", "2", "--workers", "2",
+                            "--log", str(log))
+        assert code == 0
+        assert "serving:" in out
+        # the typed-backpressure tour names every error it demonstrates
+        for err in ("JobFailedError", "DeadlineExceededError",
+                    "QueueFullError", "TenantQuotaError"):
+            assert err in out
+        # the flushed flight recorder is a valid schema-v2 document
+        from repro.recovery.events import RecoveryLog
+        events = RecoveryLog.read(log)
+        assert {"submit", "admit", "start", "complete"} <= set(events.kinds())
+
+    def test_serve_demo_threaded_substrate(self, capsys):
+        code, out = run_cli(capsys, "serve", "demo", "--jobs", "4",
+                            "--substrate", "threaded")
+        assert code == 0
+
+    def test_serve_demo_chaos(self, capsys, tmp_path):
+        trace = tmp_path / "chaos_events.json"
+        code, out = run_cli(capsys, "serve", "demo", "--chaos",
+                            "--runs", "2", "--log", str(trace))
+        assert code == 0
+        assert "serving chaos" in out
+        import json as _json
+        from repro.parallel import process_fallback_reason
+        if process_fallback_reason(2) is None:
+            doc = _json.loads(trace.read_text())
+            assert doc["events"]  # kill-scenario event trace uploaded by CI
+
+    def test_serve_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "frobnicate"])
+
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "SIGINT"),
+                        reason="POSIX signals required")
+    def test_serve_demo_sigint_drains_gracefully(self, tmp_path):
+        """SIGINT mid-demo: the run drains, flushes its log, reports the
+        interruption, and exits 130 — no raw traceback."""
+        import os
+        import signal as _signal
+        import subprocess
+        import sys
+        import time as _time
+
+        log = tmp_path / "serving.json"
+        env = dict(os.environ,
+                   PYTHONPATH="src", REPRO_PARALLEL_FORCE="1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "demo",
+             "--jobs", "25000", "--tenants", "4", "--workers", "1",
+             "--log", str(log)],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        _time.sleep(1.0)  # let it get into the stream
+        proc.send_signal(_signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 130, (out, err)
+        assert "Traceback" not in err
+        assert "stop requested" in err
+        assert log.exists()  # the flight recorder was still flushed

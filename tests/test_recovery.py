@@ -439,7 +439,7 @@ class TestBuildingBlocks:
             link_faults=(LinkFault(0, 4, "drop", count=None),)), log=log)
         assert res.log is log
         doc = json.loads(log.to_json())
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert all(e["event"] in EVENT_KINDS for e in doc["events"])
         assert all("stage" in e for e in doc["events"])
         path = tmp_path / "events.json"

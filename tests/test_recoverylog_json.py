@@ -1,0 +1,127 @@
+"""RecoveryLog wire format: v2 golden, v1 back-compat, loud rejection.
+
+Mirrors the ``faultplan_v1.json`` / ``plancache_v1.json`` pattern: the
+golden file pins the on-disk shape of the serialized event log.  Schema
+v2 added the serving job-lifecycle vocabulary (``submit``/``admit``/
+``reject``/``retry``/``deadline_miss``); v1 documents (written by the
+supervision-only releases) must keep loading unchanged, and anything
+unrecognized — unknown version, unknown kind, a serving kind claiming
+to be v1 — must be rejected loudly, never skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.recovery.events import (
+    EVENT_KINDS,
+    RECOVERYLOG_JSON_VERSION,
+    RecoveryLog,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "recoverylog_v2.json"
+
+#: the serving vocabulary is exactly what v2 added on top of v1
+V2_ONLY_KINDS = ("submit", "admit", "reject", "retry", "deadline_miss")
+
+
+def test_version_is_2():
+    assert RECOVERYLOG_JSON_VERSION == 2
+
+
+def test_golden_round_trips_byte_identical():
+    """Reading the golden file and re-serializing reproduces it exactly
+    — the parser is lossless and the writer's shape is pinned."""
+    text = GOLDEN.read_text()
+    log = RecoveryLog.from_json(text)
+    assert log.to_json() + "\n" == text
+
+
+def test_golden_covers_both_vocabularies():
+    """The golden exercises supervision kinds *and* every v2-only
+    serving kind, so a vocabulary regression cannot hide from it."""
+    log = RecoveryLog.read(GOLDEN)
+    kinds = set(log.kinds())
+    assert kinds >= set(V2_ONLY_KINDS)
+    assert kinds >= {"checkpoint", "respawn", "fallback", "quarantine"}
+    doc = json.loads(GOLDEN.read_text())
+    assert doc["version"] == 2
+
+
+def test_emit_write_read_round_trip(tmp_path):
+    log = RecoveryLog()
+    log.emit("submit", job="job-9", tenant="t", p=4)
+    log.emit("admit", job="job-9", tenant="t", depth=1)
+    log.emit("complete", job="job-9", tenant="t", attempts=1)
+    path = tmp_path / "log.json"
+    log.write(path)
+    clone = RecoveryLog.read(path)
+    assert clone.events == log.events
+    assert clone.kinds() == ("submit", "admit", "complete")
+
+
+def test_v1_documents_still_load():
+    """A pre-serving log (version 1, supervision kinds only) loads
+    unchanged — v2 is a strict superset."""
+    v1 = json.dumps({"version": 1, "events": [
+        {"event": "start", "stage": 0, "clock": 0.0},
+        {"event": "fault", "stage": 1, "kind": "crash"},
+        {"event": "restore", "stage": 1, "clock": 3.5},
+        {"event": "complete", "clock": 9.0},
+    ]})
+    log = RecoveryLog.from_json(v1)
+    assert log.kinds() == ("start", "fault", "restore", "complete")
+
+
+def test_versionless_document_is_treated_as_v1():
+    log = RecoveryLog.from_json(
+        '{"events": [{"event": "checkpoint", "stage": 0}]}')
+    assert log.kinds() == ("checkpoint",)
+
+
+def test_serving_kinds_are_rejected_in_v1_documents():
+    """A v1 document cannot smuggle in vocabulary that did not exist in
+    v1 — version tags mean what they say."""
+    for kind in V2_ONLY_KINDS:
+        doc = json.dumps({"version": 1,
+                          "events": [{"event": kind, "job": "job-1"}]})
+        with pytest.raises(ValueError, match="v1"):
+            RecoveryLog.from_json(doc)
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(ValueError, match="version"):
+        RecoveryLog.from_json('{"version": 3, "events": []}')
+
+
+def test_unknown_kind_rejected():
+    doc = json.dumps({"version": 2,
+                      "events": [{"event": "teleport", "job": "job-1"}]})
+    with pytest.raises(ValueError, match="teleport"):
+        RecoveryLog.from_json(doc)
+
+
+def test_non_log_document_rejected():
+    with pytest.raises(ValueError):
+        RecoveryLog.from_json('{"version": 2}')
+    with pytest.raises(ValueError):
+        RecoveryLog.from_json('[1, 2, 3]')
+
+
+def test_emit_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown"):
+        RecoveryLog().emit("vibe_check")
+
+
+def test_event_kinds_are_append_only():
+    """v1's fourteen kinds keep their positions — ``_V1_KINDS`` slices
+    the prefix, so reordering would silently change what v1 accepts."""
+    assert EVENT_KINDS[:14] == (
+        "start", "checkpoint", "fault", "restore", "quarantine",
+        "replan", "shrink", "complete", "unrecoverable",
+        "heartbeat_miss", "child_exit", "epoch_bump", "respawn",
+        "fallback")
+    assert EVENT_KINDS[14:] == V2_ONLY_KINDS
