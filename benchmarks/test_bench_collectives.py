@@ -1,0 +1,125 @@
+"""Bandwidth vocabulary: butterfly allreduce vs reduce_scatter;allgatherv.
+
+The decomposition sends every element across the network ~twice
+(``2 log p`` start-ups, ``2 m tw (1 - 1/p)`` volume) where the butterfly
+sends the whole block every phase (``log p`` start-ups, ``log p * m tw``
+volume).  Sweeping the block size at fixed ``(p, ts, tw)`` reproduces
+the crossover, checks that the closed-form cost model predicts the
+winner at every point, and pins the headline bandwidth win (the
+decomposition is at least 1.5x faster at the largest block).
+
+Emits ``BENCH_collectives.json`` for CI and ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import emit, emit_json
+from repro.core.cost import (
+    MachineParams,
+    decomposed_allreduce_cost,
+    stage_cost,
+)
+from repro.core.operators import EW_ADD
+from repro.core.stages import AllReduceStage
+from repro.machine.collectives import (
+    allgatherv_machine,
+    allreduce_butterfly,
+    reduce_scatter_machine,
+)
+from repro.machine.engine import run_spmd
+
+P = 8
+TS, TW = 600.0, 2.0
+BLOCKS = [4, 16, 64, 256, 1024, 4096, 16384, 65536]
+SEM_N = 8  # semantic payload stays small; the model's m drives timing
+
+
+def _run_butterfly(params):
+    def prog(ctx, x):
+        out = yield from allreduce_butterfly(ctx, x, EW_ADD)
+        return out
+
+    blocks = [[r] * SEM_N for r in range(P)]
+    return run_spmd(prog, blocks, params)
+
+
+def _run_decomposed(params):
+    def prog(ctx, x):
+        seg = yield from reduce_scatter_machine(ctx, x, EW_ADD)
+        out = yield from allgatherv_machine(ctx, seg)
+        return out
+
+    blocks = [[r] * SEM_N for r in range(P)]
+    return run_spmd(prog, blocks, params)
+
+
+def sweep():
+    rows = []
+    for m in BLOCKS:
+        params = MachineParams(p=P, ts=TS, tw=TW, m=m)
+        t0 = time.perf_counter()
+        bfly = _run_butterfly(params)
+        t1 = time.perf_counter()
+        deco = _run_decomposed(params)
+        t2 = time.perf_counter()
+        want = [sum(range(P))] * SEM_N
+        assert all(list(v) == want for v in bfly.values)
+        assert all(list(v) == want for v in deco.values)
+        rows.append({
+            "m": m,
+            "t_butterfly": bfly.time,
+            "t_decomposed": deco.time,
+            "model_butterfly": stage_cost(AllReduceStage(EW_ADD), params),
+            "model_decomposed": decomposed_allreduce_cost(params, EW_ADD),
+            "wall_butterfly_s": t1 - t0,
+            "wall_decomposed_s": t2 - t1,
+        })
+    return rows
+
+
+def test_collectives_crossover(benchmark):
+    rows = benchmark(sweep)
+    lines = [
+        f"p = {P}, ts = {TS}, tw = {TW}",
+        f"{'m':>8} {'butterfly':>12} {'decomposed':>12} "
+        f"{'model says':>12} {'sim says':>12}",
+    ]
+    sim_winners, model_winners = [], []
+    for row in rows:
+        sim = "butterfly" if row["t_butterfly"] < row["t_decomposed"] \
+            else "decomposed"
+        model = "butterfly" \
+            if row["model_butterfly"] < row["model_decomposed"] \
+            else "decomposed"
+        sim_winners.append(sim)
+        model_winners.append(model)
+        lines.append(f"{row['m']:>8} {row['t_butterfly']:>12.0f} "
+                     f"{row['t_decomposed']:>12.0f} {model:>12} {sim:>12}")
+    emit("collectives_crossover", lines)
+
+    # the cost model predicts the winner at every point of the sweep
+    assert sim_winners == model_winners
+    # crossover shape: butterfly in the latency regime, decomposed in the
+    # bandwidth regime, exactly one flip
+    assert sim_winners[0] == "butterfly"
+    assert sim_winners[-1] == "decomposed"
+    flips = sum(1 for a, b in zip(sim_winners, sim_winners[1:]) if a != b)
+    assert flips == 1
+    # headline: the bandwidth-optimal form is >= 1.5x faster at large m
+    last = rows[-1]
+    speedup = last["t_butterfly"] / last["t_decomposed"]
+    assert speedup >= 1.5
+
+    emit_json("collectives", {
+        "p": P,
+        "ts": TS,
+        "tw": TW,
+        "op": "ew[add]",
+        "speedup": speedup,
+        "speedup_at_m": last["m"],
+        "model_agrees": True,
+        "series": rows,
+    })

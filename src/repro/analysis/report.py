@@ -41,6 +41,11 @@ _SCHEMATA = {
     "AB-Allreduce": ("allreduce (⊕) ; bcast", "allreduce (⊕)"),
     "SB-Bcast": ("scan (⊕) ; bcast", "bcast"),
     "BB-Bcast": ("bcast ; bcast", "bcast"),
+    # bandwidth vocabulary (allreduce ⇄ reduce_scatter ; allgatherv)
+    "Decompose-Allreduce": ("allreduce (⊕ew)",
+                            "reduce_scatter (⊕ew) ; allgatherv"),
+    "Compose-Allreduce": ("reduce_scatter (⊕ew) ; allgatherv",
+                          "allreduce (⊕ew)"),
 }
 
 

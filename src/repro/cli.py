@@ -683,33 +683,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "python": platform.python_version(),
     }
     rows = []
+    skipped = 0
     for f in files:
+        # A malformed file — truncated by a crashed run, invalid JSON, or
+        # a schema surprise (series that isn't a list, host that isn't a
+        # dict) — must not abort the whole aggregation: note it loudly,
+        # skip it, keep going.
         try:
             payload = json.loads(f.read_text())
         except (OSError, ValueError) as exc:
-            print(f"skipping {f.name}: {exc}", file=sys.stderr)
+            print(f"skipping {f.name}: malformed or unreadable ({exc})",
+                  file=sys.stderr)
+            skipped += 1
             continue
-        if isinstance(payload, dict) and "host" not in payload:
-            payload = {"host": host, **payload}
-        (out / f.name).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        headline = ""
-        if isinstance(payload, dict):
-            for key in ("speedup", "overhead", "hit_rate", "jobs_per_sec",
-                        "overhead_frac"):
-                if key in payload:
-                    headline = f"{key}={payload[key]:.2f}" \
-                        if isinstance(payload[key], float) \
-                        else f"{key}={payload[key]}"
-                    break
-            n = len(payload.get("series", []) or [])
-            cpu = (payload.get("host") or {}).get("cpu_count")
-            detail = f"series={n} host_cpus={cpu}"
-        else:
-            detail = "-"
+        try:
+            if isinstance(payload, dict) and "host" not in payload:
+                payload = {"host": host, **payload}
+            (out / f.name).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            headline = ""
+            if isinstance(payload, dict):
+                for key in ("speedup", "overhead", "hit_rate", "jobs_per_sec",
+                            "overhead_frac"):
+                    if key in payload:
+                        headline = f"{key}={payload[key]:.2f}" \
+                            if isinstance(payload[key], float) \
+                            else f"{key}={payload[key]}"
+                        break
+                series = payload.get("series")
+                n = len(series) if isinstance(series, (list, tuple)) else 0
+                host_info = payload.get("host")
+                cpu = (host_info.get("cpu_count")
+                       if isinstance(host_info, dict) else None)
+                detail = f"series={n} host_cpus={cpu}"
+            else:
+                detail = "-"
+        except (OSError, TypeError, ValueError) as exc:
+            print(f"skipping {f.name}: unusable payload ({exc})",
+                  file=sys.stderr)
+            skipped += 1
+            continue
         rows.append((f.name, headline, detail))
+    if not rows:
+        print(f"no usable BENCH_*.json files under {results} "
+              f"({skipped} skipped)", file=sys.stderr)
+        return 1
     width = max(len(r[0]) for r in rows)
-    print(f"aggregated {len(rows)} benchmark file(s) -> {out}/")
+    suffix = f" ({skipped} skipped)" if skipped else ""
+    print(f"aggregated {len(rows)} benchmark file(s) -> {out}/{suffix}")
     for name, headline, detail in rows:
         print(f"  {name:{width}}  {headline:16} {detail}")
     return 0

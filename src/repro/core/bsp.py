@@ -32,6 +32,7 @@ from typing import Iterable
 
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     AllReduceStage,
     BalancedReduceStage,
     BalancedScanStage,
@@ -42,6 +43,7 @@ from repro.core.stages import (
     MapIndexedStage,
     MapStage,
     Program,
+    ReduceScatterStage,
     ReduceStage,
     ScanStage,
     Stage,
@@ -120,6 +122,20 @@ def bsp_stage_cost(stage: Stage, params: BSPParams) -> float:
         p = params.p
         # recursive doubling: log p supersteps, h doubling up to (p-1)m
         return log_p * params.l + (p - 1) * m * stage.width * params.g
+
+    if isinstance(stage, ReduceScatterStage):
+        p = params.p
+        w, c = stage.op.width, stage.op.op_count
+        # recursive halving: log p supersteps, h halving from m/2 down to
+        # m/p — total volume m*(1 - 1/p) words combined as they arrive
+        frac = m * (1.0 - 1.0 / p) if p > 1 else 0.0
+        return log_p * params.l + frac * (w * params.g + c)
+
+    if isinstance(stage, AllGatherVStage):
+        p = params.p
+        # recursive doubling over segments: h doubling from m/p to m/2
+        frac = m * (1.0 - 1.0 / p) if p > 1 else 0.0
+        return log_p * params.l + frac * stage.width * params.g
 
     raise TypeError(f"no BSP cost model for stage {stage!r}")
 

@@ -31,8 +31,10 @@ from typing import Iterable
 
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     AllReduceStage,
     GatherStage,
+    ReduceScatterStage,
     ScatterStage,
     BalancedReduceStage,
     BalancedScanStage,
@@ -54,6 +56,9 @@ __all__ = [
     "stage_rounds",
     "program_rounds",
     "program_cost",
+    "reduce_scatter_cost",
+    "allgatherv_cost",
+    "decomposed_allreduce_cost",
     "CostFormula",
     "bcast_formula",
     "reduce_formula",
@@ -222,6 +227,18 @@ def stage_rounds(stage: Stage, params: MachineParams) -> int:
         if p & (p - 1) == 0:
             return log_rounds
         return 2 * (p - 1) if p % 2 == 0 else 2 * p
+    if isinstance(stage, AllGatherVStage):
+        if p & (p - 1) == 0:
+            return log_rounds  # recursive doubling over segments
+        return 2 * (p - 1) if p % 2 == 0 else 2 * p  # segment ring
+    if isinstance(stage, ReduceScatterStage):
+        if not stage.op.commutative:
+            # rank-ordered binomial reduce, then binomial scatterv
+            return 2 * log_rounds
+        if p & (p - 1) == 0:
+            return log_rounds  # recursive halving
+        # rank folding: one fold round, the power-of-two core, one unfold
+        return (p.bit_length() - 1) + 2
     if isinstance(stage, (ScatterStage, GatherStage)):
         return log_rounds
     if isinstance(stage, IterStage):
@@ -283,6 +300,12 @@ def _base_stage_cost(stage: Stage, params: MachineParams) -> float:
         phases = (p - 1).bit_length()
         return phases * ts + (p - 1) * m * stage.width * tw
 
+    if isinstance(stage, ReduceScatterStage):
+        return reduce_scatter_cost(params, stage.op)
+
+    if isinstance(stage, AllGatherVStage):
+        return allgatherv_cost(params, stage.width)
+
     if isinstance(stage, ScanStage):
         w, c = stage.op.width, stage.op.op_count
         return log_p * (ts + m * (w * tw + 2 * c))
@@ -322,6 +345,80 @@ def program_cost(program: Program | Iterable[Stage], params: MachineParams) -> f
     """Total model time of a program (sum of stage costs)."""
     stages = program.stages if isinstance(program, Program) else tuple(program)
     return sum(stage_cost(s, params) for s in stages)
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth-optimal collective vocabulary (reduce_scatter / allgatherv)
+# ---------------------------------------------------------------------------
+#
+# These costs carry (1 - 1/p) volume factors, which the per-log-p
+# CostFormula shape of Table 1 cannot express — so they live as exact
+# closed forms here, shared by _base_stage_cost, the decomposition
+# rewrite rules' improvement predicates, the golden cost tests, and the
+# crossover benchmark.  Irregular ``counts`` redistribute the same total
+# volume, so the balanced forms price the v-variants too.
+
+
+def reduce_scatter_cost(params: MachineParams, op) -> float:
+    """Model time of ``reduce_scatter (op)`` on an ``m``-element block.
+
+    Commutative operators use recursive halving — exchanged volumes
+    ``m/2 + m/4 + ... = m*(1 - 1/p)`` words and as many combines over
+    ``log p`` start-ups.  Non-power-of-two machines fold the excess
+    ranks into a power-of-two core first (one full-block exchange +
+    combine) and unfold one balanced segment afterwards.  Merely
+    associative operators must combine in rank order, so they pay a
+    rank-ordered binomial reduce plus a binomial scatterv instead.
+    """
+    p, ts, tw, m = params.p, params.ts, params.tw, params.m
+    if p <= 1:
+        return 0.0
+    w, c = op.width, op.op_count
+    if not op.commutative:
+        # reduce (full blocks every phase) + scatterv (halving volumes)
+        reduce_t = params.log_p * (ts + m * (w * tw + c))
+        phases = (p - 1).bit_length()
+        return reduce_t + phases * ts + m * w * tw * (1.0 - 1.0 / p)
+    if p & (p - 1) == 0:
+        frac = 1.0 - 1.0 / p
+        return params.log_p * ts + m * frac * (w * tw + c)
+    core = 1 << (p.bit_length() - 1)  # largest power of two <= p
+    fold = ts + m * (w * tw + c)                    # pairwise pre-combine
+    halving = (p.bit_length() - 1) * ts + m * (1.0 - 1.0 / core) * (w * tw + c)
+    unfold = ts + (m / p) * w * tw                  # ship the partner's segment
+    return fold + halving + unfold
+
+
+def allgatherv_cost(params: MachineParams, width: int = 1) -> float:
+    """Model time of ``allgatherv`` re-assembling an ``m``-element block.
+
+    Power-of-two machines use recursive doubling over the segments:
+    received volumes ``m/p + 2m/p + ... = m*(1 - 1/p)`` words in
+    ``log p`` start-ups.  Otherwise a segment ring: the :class:`AllGatherStage`
+    slot accounting (rendezvous links are half-duplex pairs; odd cycles
+    need one extra slot per round pair) with ``m/p``-word segments.
+    """
+    p, ts, tw, m = params.p, params.ts, params.tw, params.m
+    if p <= 1:
+        return 0.0
+    if p & (p - 1) == 0:
+        return params.log_p * ts + m * width * tw * (1.0 - 1.0 / p)
+    slots = 2 * (p - 1) if p % 2 == 0 else 2 * p
+    return slots * (ts + (m / p) * width * tw)
+
+
+def decomposed_allreduce_cost(params: MachineParams, op) -> float:
+    """Model time of ``reduce_scatter(op) ; allgatherv`` — the measured
+
+        ``2·log p·ts + 2·m·tw·(1 − 1/p) + m·(1 − 1/p)``
+
+    form (at ``width = op_count = 1`` on power-of-two machines), to be
+    compared against the butterfly's ``log p·(ts + m·(tw + 1))``:
+    butterfly wins the latency regime (small ``m``), the decomposition
+    wins the bandwidth regime (large ``m``).
+    """
+    return (reduce_scatter_cost(params, op)
+            + allgatherv_cost(params, op.width))
 
 
 # ---------------------------------------------------------------------------

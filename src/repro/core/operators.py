@@ -49,6 +49,10 @@ __all__ = [
     "mod_add",
     "mod_mul",
     "product_op",
+    "elementwise_op",
+    "EW_ADD",
+    "EW_MAX",
+    "EW_MIN",
     "STANDARD_OPS",
     "DISTRIBUTIVE_PAIRS",
 ]
@@ -360,3 +364,65 @@ def product_op(left: BinOp, right: BinOp, name: str | None = None) -> BinOp:
         kind="product",
         parts=(left, right),
     )
+
+
+def elementwise_op(base: BinOp, array_fn: Callable[[Any, Any], Any] | None = None) -> BinOp:
+    """Lift a scalar operator to equal-length sequence blocks, elementwise.
+
+    ``elementwise_op(ADD)([1, 2], [10, 20]) == [11, 22]`` — the block
+    shape the bandwidth-optimal collectives (``reduce_scatter``,
+    ``allgatherv``, Rabenseifner allreduce) operate on.  The lift is
+    *strict*: mismatched block lengths raise instead of silently
+    truncating, because a dropped tail in a reduce_scatter segment is a
+    wrong answer, not a shorter one.  The container type of the left
+    operand is preserved (list in → list out, tuple in → tuple out);
+    array blocks (anything with a ``dtype``) are combined whole via
+    ``array_fn`` — needed when the scalar ``fn`` does not broadcast,
+    e.g. ``elementwise_op(MAX, np.maximum)`` — defaulting to ``base.fn``.
+
+    ``op_count`` and ``width`` stay *per element*, matching how the
+    machine collectives charge segment exchanges.  The ``"ew"`` kind is
+    the same structural tag the kernel registry already lowers (the base
+    kernel applied to an array block is already elementwise), so lifted
+    operators vectorize and JIT for free.
+    """
+
+    def fn(a, b):
+        if hasattr(a, "dtype") or hasattr(b, "dtype"):
+            return (array_fn or base.fn)(a, b)
+        if len(a) != len(b):
+            raise ValueError(
+                f"ew[{base.name}]: block lengths differ ({len(a)} != {len(b)})")
+        out = [base(x, y) for x, y in zip(a, b)]
+        return tuple(out) if isinstance(a, tuple) else out
+
+    return BinOp(
+        name=f"ew[{base.name}]",
+        fn=fn,
+        associative=base.associative,
+        commutative=base.commutative,
+        op_count=base.op_count,
+        width=base.width,
+        kind="ew",
+        parts=(base,),
+    )
+
+
+def _np_maximum(a, b):
+    import numpy as np
+
+    return np.maximum(a, b)
+
+
+def _np_minimum(a, b):
+    import numpy as np
+
+    return np.minimum(a, b)
+
+
+#: Ready-made elementwise lifts for the collective-vocabulary tests,
+#: rule cases and benchmarks (ADD broadcasts over arrays by itself;
+#: max/min need their ufunc counterparts).
+EW_ADD = elementwise_op(ADD)
+EW_MAX = elementwise_op(MAX, _np_maximum)
+EW_MIN = elementwise_op(MIN, _np_minimum)

@@ -52,6 +52,7 @@ from repro.core.rewrite import Derivation, apply_match, find_matches
 from repro.core.rules import ALL_RULES, Rule, RuleApplication, rule_by_name
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     AllReduceStage,
     BalancedReduceStage,
     BalancedScanStage,
@@ -63,6 +64,7 @@ from repro.core.stages import (
     MapIndexedStage,
     MapStage,
     Program,
+    ReduceScatterStage,
     ReduceStage,
     ScanStage,
     ScatterStage,
@@ -135,6 +137,10 @@ def _stage_token(stage: Stage) -> tuple:
         return ("bcast",)
     if isinstance(stage, AllGatherStage):
         return ("allgather", stage.width)
+    if isinstance(stage, ReduceScatterStage):
+        return ("reduce_scatter", stage.counts, op_signature(stage.op))
+    if isinstance(stage, AllGatherVStage):
+        return ("allgatherv", stage.counts, stage.width)
     if isinstance(stage, ScatterStage):
         return ("scatter", stage.width)
     if isinstance(stage, GatherStage):

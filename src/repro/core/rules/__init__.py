@@ -6,6 +6,11 @@ that longer windows come first — the rewrite engine tries triple fusions
 """
 
 from repro.core.rules.base import Rule, RuleApplication
+from repro.core.rules.bandwidth import (
+    BANDWIDTH_RULES,
+    ComposeAllReduce,
+    DecomposeAllReduce,
+)
 from repro.core.rules.comcast import BSComcast, BSS2Comcast, BSSComcast
 from repro.core.rules.extensions import (
     ABAllreduce,
@@ -34,11 +39,14 @@ __all__ = [
     "CRAllLocal",
     "ALL_RULES",
     "EXTENSION_RULES",
+    "BANDWIDTH_RULES",
     "FULL_RULES",
     "RBAllreduce",
     "ABAllreduce",
     "SBBcast",
     "BBBcast",
+    "DecomposeAllReduce",
+    "ComposeAllReduce",
     "rule_by_name",
 ]
 
@@ -58,8 +66,9 @@ ALL_RULES: tuple[Rule, ...] = (
 )
 
 
-#: the paper's catalogue plus the extension rules (cross-program fusions).
-FULL_RULES: tuple[Rule, ...] = ALL_RULES + EXTENSION_RULES
+#: the paper's catalogue plus the extension rules (cross-program fusions)
+#: and the bandwidth vocabulary (allreduce ⇄ reduce_scatter;allgatherv).
+FULL_RULES: tuple[Rule, ...] = ALL_RULES + EXTENSION_RULES + BANDWIDTH_RULES
 
 
 def rule_by_name(name: str) -> Rule:

@@ -1,0 +1,145 @@
+"""Bandwidth rules: allreduce ⇄ reduce_scatter ; allgatherv.
+
+For an *elementwise* operator ``⊕ew`` over equal-length blocks
+(:func:`repro.core.operators.elementwise_op`), the allreduce of the
+blocks factors through the segment partition::
+
+    allreduce (⊕ew)  ≡  reduce_scatter (⊕ew) ; allgatherv
+
+Both directions are sound for any contiguous rank-ordered partition
+(including irregular ``counts``): ``reduce_scatter`` leaves rank ``i``
+holding segment ``i`` of the fully reduced block, and ``allgatherv``
+reassembles exactly those segments in rank order.
+
+The directions trade start-ups against volume:
+
+* butterfly allreduce — ``log p * (ts + m*(tw + 1))`` — sends the whole
+  block every phase (latency-optimal);
+* decomposed — ``2*log p*ts + 2*m*tw*(1 - 1/p) + m*(1 - 1/p)`` —
+  bandwidth-optimal, each element crosses the network ~twice instead of
+  ``log p`` times.
+
+Neither "always" improves, so these are the first rules in the catalogue
+whose profitability the planner decides *per machine*: the exact stage
+costs (:func:`repro.core.cost.reduce_scatter_cost` /
+:func:`~repro.core.cost.allgatherv_cost`, which carry the ``(1 - 1/p)``
+volume factors Table 1's per-``log p`` formula shape cannot express)
+make ``program_cost`` price both forms, and greedy/beam/exhaustive pick
+the winner for the given ``(p, m, ts, tw)``.  The ``before_formula`` /
+``after_formula`` entries below are the closest per-``log p``
+*upper-bound* renderings for the rule catalogue display; ``improves``
+is overridden with the exact comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import (
+    CostFormula,
+    MachineParams,
+    decomposed_allreduce_cost,
+    stage_cost,
+)
+from repro.core.rules.base import Rule
+from repro.core.stages import (
+    AllGatherVStage,
+    AllReduceStage,
+    ReduceScatterStage,
+    Stage,
+)
+
+__all__ = ["DecomposeAllReduce", "ComposeAllReduce", "BANDWIDTH_RULES"]
+
+
+def _is_elementwise_allreduce(stage: Stage) -> bool:
+    return isinstance(stage, AllReduceStage) and stage.op.kind == "ew"
+
+
+class DecomposeAllReduce(Rule):
+    """allreduce(⊕ew)  →  reduce_scatter(⊕ew); allgatherv."""
+
+    name = "Decompose-Allreduce"
+    window = 1
+    condition_text = "⊕ elementwise over equal-length blocks"
+    improvement_text = "m*tw + m > 2*log p*ts/(log p - 2 + 2/p)  (bandwidth regime)"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        return _is_elementwise_allreduce(stages[0])
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        (a,) = stages
+        return (
+            ReduceScatterStage(a.op, origin=self.name),
+            AllGatherVStage(width=a.op.width, origin=self.name),
+        )
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 1)  # T_allreduce (butterfly)
+
+    def after_formula(self) -> CostFormula:
+        # per-log-p upper bound of the decomposition (the exact cost has
+        # (1 - 1/p) volume factors; see improves())
+        return CostFormula.of(2, 2, 1)
+
+    def improves(self, params: MachineParams) -> bool:
+        """Exact: decomposed vs butterfly at unit width/op-count."""
+        from repro.core.operators import EW_ADD
+
+        before = stage_cost(AllReduceStage(EW_ADD), params)
+        return decomposed_allreduce_cost(params, EW_ADD) < before
+
+    def always_improves(self) -> bool:
+        return False  # butterfly wins the latency regime (small m)
+
+
+class ComposeAllReduce(Rule):
+    """reduce_scatter(⊕ew); allgatherv  →  allreduce(⊕ew).
+
+    Sound for *any* counts — the segments form a contiguous rank-ordered
+    partition of the reduced block, so reassembling them is exactly the
+    allreduce — but only applied when the allgatherv has no explicit
+    counts or the two stages agree, so a deliberately irregular pipeline
+    is left alone.
+    """
+
+    name = "Compose-Allreduce"
+    window = 2
+    condition_text = "⊕ elementwise; matching (or default) partitions"
+    improvement_text = "m*tw + m < 2*log p*ts/(log p - 2 + 2/p)  (latency regime)"
+
+    def match(self, stages: Sequence[Stage]) -> bool:
+        rs, ag = stages
+        if not (isinstance(rs, ReduceScatterStage)
+                and isinstance(ag, AllGatherVStage)):
+            return False
+        if rs.op.kind != "ew":
+            return False
+        return ag.counts is None or ag.counts == rs.counts
+
+    def rewrite(self, stages: Sequence[Stage], general: bool = False) -> tuple[Stage, ...]:
+        rs, _ag = stages
+        return (AllReduceStage(rs.op, origin=self.name),)
+
+    def before_formula(self) -> CostFormula:
+        return CostFormula.of(2, 2, 1)
+
+    def after_formula(self) -> CostFormula:
+        return CostFormula.of(1, 1, 1)
+
+    def improves(self, params: MachineParams) -> bool:
+        """Exact: butterfly vs decomposed at unit width/op-count."""
+        from repro.core.operators import EW_ADD
+
+        after = stage_cost(AllReduceStage(EW_ADD), params)
+        return after < decomposed_allreduce_cost(params, EW_ADD)
+
+    def always_improves(self) -> bool:
+        return False  # the decomposition wins the bandwidth regime
+
+
+#: the bandwidth-vocabulary catalogue; part of FULL_RULES.
+BANDWIDTH_RULES: tuple[Rule, ...] = (
+    DecomposeAllReduce(),
+    ComposeAllReduce(),
+)

@@ -42,6 +42,8 @@ __all__ = [
     "AllReduceStage",
     "BcastStage",
     "AllGatherStage",
+    "ReduceScatterStage",
+    "AllGatherVStage",
     "ScatterStage",
     "GatherStage",
     "BalancedReduceStage",
@@ -242,6 +244,71 @@ class AllGatherStage(Stage):
 
     def pretty(self) -> str:
         return "allgather"
+
+
+@dataclass(frozen=True)
+class ReduceScatterStage(Stage):
+    """``reduce_scatter (⊕ew)`` — MPI_Reduce_scatter(_block).
+
+    The bandwidth-optimal half of the allreduce decomposition: combine
+    every rank's equal-length block elementwise with ``op`` (an ``"ew"``
+    operator over sequence blocks), then leave rank ``i`` holding only
+    its contiguous *segment* of the result.  ``counts`` declares an
+    irregular distribution (one segment length per rank, summing to the
+    block length); ``None`` means the balanced partition.
+    """
+
+    op: BinOp
+    counts: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.counts is not None:
+            object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+
+    @property
+    def is_collective(self) -> bool:
+        return True
+
+    def apply(self, xs: Sequence[Any]) -> list[Any]:
+        from repro.semantics.vocabulary import reduce_scatter_fn
+
+        return reduce_scatter_fn(xs, self.op, self.counts)
+
+    def pretty(self) -> str:
+        v = "" if self.counts is None else "v" + repr(list(self.counts))
+        return f"reduce_scatter{v} ({self.op.name})"
+
+
+@dataclass(frozen=True)
+class AllGatherVStage(Stage):
+    """``allgatherv`` — MPI_Allgatherv: concatenate irregular segments.
+
+    The inverse half of the decomposition: every rank contributes its
+    (possibly empty, possibly irregular) segment and receives the full
+    rank-ordered concatenation.  ``counts``, when given, pins the
+    declared segment lengths (validated at run time); ``width`` is the
+    per-element word count.
+    """
+
+    counts: tuple[int, ...] | None = None
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.counts is not None:
+            object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+
+    @property
+    def is_collective(self) -> bool:
+        return True
+
+    def apply(self, xs: Sequence[Any]) -> list[Any]:
+        from repro.semantics.vocabulary import allgatherv_fn
+
+        return allgatherv_fn(xs, self.counts)
+
+    def pretty(self) -> str:
+        v = "" if self.counts is None else repr(list(self.counts))
+        return f"allgatherv{v}"
 
 
 # ---------------------------------------------------------------------------

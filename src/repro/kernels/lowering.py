@@ -37,6 +37,7 @@ from repro.core.derived_ops import (
 from repro.core.rewrite import fuse_local_stages
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     AllReduceStage,
     BalancedReduceStage,
     BalancedScanStage,
@@ -46,6 +47,7 @@ from repro.core.stages import (
     IterStage,
     MapStage,
     Program,
+    ReduceScatterStage,
     ReduceStage,
     ScanStage,
     ScatterStage,
@@ -69,14 +71,18 @@ _ITER_BUILDERS = {
 }
 
 #: stages that only move blocks around — valid for any representation
-_PASSTHROUGH = (BcastStage, AllGatherStage, ScatterStage, GatherStage)
+#: (allgatherv concatenates segments, which np.concatenate handles on
+#: array blocks — its semantics never applies an operator)
+_PASSTHROUGH = (BcastStage, AllGatherStage, AllGatherVStage, ScatterStage,
+                GatherStage)
 
 
 def kernelize_stage(stage: Stage) -> Stage:
     """Rebuild one stage around array kernels (or raise KernelUnsupported)."""
     if isinstance(stage, MapStage):
         return replace(stage, fn=kernelize_map(stage.fn, stage.label))
-    if isinstance(stage, (ScanStage, ReduceStage, AllReduceStage)):
+    if isinstance(stage, (ScanStage, ReduceStage, AllReduceStage,
+                          ReduceScatterStage)):
         return replace(stage, op=kernelize_binop(stage.op))
     if isinstance(stage, _PASSTHROUGH):
         return stage

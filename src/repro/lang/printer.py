@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     GatherStage,
+    ReduceScatterStage,
     ScatterStage,
     AllReduceStage,
     BalancedReduceStage,
@@ -68,6 +70,21 @@ def to_mpi_text(program: Program) -> str:
         elif isinstance(stage, AllGatherStage):
             cur += 1
             lines.append(f"MPI_Allgather ({src}, {_var(cur)});{comment}")
+        elif isinstance(stage, ReduceScatterStage):
+            cur += 1
+            counts = ("counts" if stage.counts is None
+                      else list(stage.counts))
+            lines.append(
+                f"MPI_Reduce_scatter ({src}, {_var(cur)}, {counts}, "
+                f"{stage.op.name});{comment}"
+            )
+        elif isinstance(stage, AllGatherVStage):
+            cur += 1
+            counts = ("counts" if stage.counts is None
+                      else list(stage.counts))
+            lines.append(
+                f"MPI_Allgatherv ({src}, {_var(cur)}, {counts});{comment}"
+            )
         elif isinstance(stage, ScatterStage):
             cur += 1
             lines.append(f"MPI_Scatter ({src}, {_var(cur)}, root);{comment}")

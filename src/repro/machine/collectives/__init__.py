@@ -24,6 +24,11 @@ from repro.machine.collectives.gather import (
     scatter_binomial,
 )
 from repro.machine.collectives.rabenseifner import allreduce_rabenseifner
+from repro.machine.collectives.vocabulary import (
+    allgatherv_machine,
+    reduce_scatter_machine,
+    scatterv_binomial,
+)
 
 __all__ = [
     "bcast_binomial",
@@ -43,4 +48,7 @@ __all__ = [
     "allgather_doubling",
     "alltoall_pairwise",
     "allreduce_rabenseifner",
+    "reduce_scatter_machine",
+    "allgatherv_machine",
+    "scatterv_binomial",
 ]

@@ -136,7 +136,10 @@ def allgather_doubling(ctx: RankContext, value: Any, width: int = 1):
     d = 1
     while d < p:
         partner = rank ^ d
-        received = yield from ctx.sendrecv(partner, blocks, len(blocks) * m * width)
+        # snapshot: the live dict is mutated below, and in-process payloads
+        # travel by reference — the partner must see the pre-exchange state
+        received = yield from ctx.sendrecv(partner, dict(blocks),
+                                           len(blocks) * m * width)
         blocks.update(received)
         d *= 2
     return [blocks[i] for i in range(p)]

@@ -18,9 +18,21 @@ and ``~m`` operations per processor:
 The simulator's variable per-message word counts make this directly
 measurable; the ablation benchmark shows the classic crossover — the
 butterfly wins on small blocks (start-up bound), recursive halving wins
-on large blocks (bandwidth bound).  Restricted to power-of-two machines
-and *element-addressable* blocks (sequences of ``m`` scalars combined
-elementwise by ``op``).
+on large blocks (bandwidth bound).  Blocks must be *element-addressable*
+(sequences of ``m`` scalars combined elementwise by ``op``).
+
+Non-power-of-two machines are handled by **rank folding**: the
+``r = p - 2^k`` excess ranks pair with their even neighbours, which
+pre-combine both blocks (in rank order, so merely associative operators
+stay safe) and then run the power-of-two core algorithm; afterwards each
+representative ships the full result back to its folded partner.  The
+cost delta over the power-of-two case is exactly two extra rounds:
+
+    fold    ts + m*(tw + 1)      (one full block + one combine per element)
+    unfold  ts + m*tw            (one full block back)
+
+on top of the core's ``2*log2(2^k)`` rounds — still far below the
+reduce+bcast fallback's ``2*log p`` full-block phases for large ``m``.
 """
 
 from __future__ import annotations
@@ -43,17 +55,55 @@ def _combine_segment(op: BinOp, mine: list, theirs: Sequence, lo: int, hi: int,
 def allreduce_rabenseifner(ctx: RankContext, block: Sequence[Any], op: BinOp):
     """Allreduce of an m-element block via reduce-scatter + allgather.
 
-    Requires a power-of-two machine size.  Returns the fully reduced
-    block (a list) on every rank.  The operator is applied elementwise
-    in rank order, so non-commutative associative operators are safe.
+    Returns the fully reduced block (a list) on every rank.  The operator
+    is applied elementwise in rank order, so non-commutative associative
+    operators are safe.  Non-power-of-two machines fold the excess ranks
+    into a power-of-two core first (see module docstring for the cost).
     """
     p, rank = ctx.size, ctx.rank
-    if p & (p - 1):
-        raise ValueError("Rabenseifner allreduce requires a power-of-two machine")
     mine = list(block)
-    n = len(mine)
     if p == 1:
         return mine
+
+    core = 1 << (p.bit_length() - 1)  # largest power of two <= p
+    if core != p:
+        # --- fold: ranks [0, 2r) pair up; the even one represents both
+        r = p - core
+        m_words = ctx.params.m
+        if rank < 2 * r and rank % 2 == 1:
+            yield from ctx.send(rank - 1, mine, m_words)
+            result = yield from ctx.recv(rank - 1)  # unfold: full block back
+            return list(result)
+        if rank < 2 * r:
+            theirs = yield from ctx.recv(rank + 1)
+            yield from ctx.compute(op.op_count * m_words)
+            mine = [op(a, b) for a, b in zip(mine, theirs)]  # even rank first
+            core_rank = rank // 2
+        else:
+            core_rank = rank - r
+
+        def to_true(c: int) -> int:
+            return 2 * c if c < r else c + r
+
+        result = yield from _core_allreduce(ctx, mine, op, core_rank, core,
+                                            to_true)
+        if core_rank < r:
+            yield from ctx.send(rank + 1, result, m_words)
+        return result
+
+    result = yield from _core_allreduce(ctx, mine, op, rank, p, lambda c: c)
+    return result
+
+
+def _core_allreduce(ctx: RankContext, mine: list, op: BinOp,
+                    rank: int, p: int, to_true):
+    """The power-of-two reduce-scatter + allgather core.
+
+    ``rank``/``p`` are *core* coordinates; ``to_true`` maps a core rank
+    to the machine rank it lives on (the identity on power-of-two
+    machines).
+    """
+    n = len(mine)
 
     # --- reduce-scatter by recursive halving --------------------------------
     # Ascending distances keep the rank groups contiguous, so elementwise
@@ -74,7 +124,7 @@ def allreduce_rabenseifner(ctx: RankContext, block: Sequence[Any], op: BinOp):
             send_lo, send_hi = lo, mid
         outgoing = mine[send_lo:send_hi]
         words = ctx.params.m * (send_hi - send_lo) / max(n, 1)
-        incoming = yield from ctx.sendrecv(partner, outgoing, words)
+        incoming = yield from ctx.sendrecv(to_true(partner), outgoing, words)
         yield from ctx.compute(
             ctx.params.m * op.op_count * (keep_hi - keep_lo) / max(n, 1)
         )
@@ -91,7 +141,8 @@ def allreduce_rabenseifner(ctx: RankContext, block: Sequence[Any], op: BinOp):
         partner = rank ^ d
         outgoing = (lo, mine[lo:hi])
         words = ctx.params.m * (hi - lo) / max(n, 1)
-        their_lo, their_seg = yield from ctx.sendrecv(partner, outgoing, words)
+        their_lo, their_seg = yield from ctx.sendrecv(to_true(partner),
+                                                      outgoing, words)
         mine[their_lo:their_lo + len(their_seg)] = their_seg
         lo = min(lo, their_lo)
         hi = max(hi, their_lo + len(their_seg))

@@ -20,8 +20,10 @@ from repro.core.cost import MachineParams
 from repro.faults import FaultPlan
 from repro.core.stages import (
     AllGatherStage,
+    AllGatherVStage,
     AllReduceStage,
     GatherStage,
+    ReduceScatterStage,
     ScatterStage,
     BalancedReduceStage,
     BalancedScanStage,
@@ -39,7 +41,9 @@ from repro.core.stages import (
 from repro.machine.collectives import (
     allgather_doubling,
     allgather_ring,
+    allgatherv_machine,
     gather_binomial,
+    reduce_scatter_machine,
     scatter_binomial,
     allreduce_balanced_machine,
     allreduce_butterfly,
@@ -107,6 +111,16 @@ def execute_stage(ctx: RankContext, stage: Stage, x: Any):
 
     if isinstance(stage, AllReduceStage):
         value = yield from allreduce_butterfly(ctx, x, stage.op)
+        return value
+
+    if isinstance(stage, ReduceScatterStage):
+        value = yield from reduce_scatter_machine(ctx, x, stage.op,
+                                                  stage.counts)
+        return value
+
+    if isinstance(stage, AllGatherVStage):
+        value = yield from allgatherv_machine(ctx, x, stage.counts,
+                                              stage.width)
         return value
 
     if isinstance(stage, BalancedReduceStage):

@@ -325,6 +325,29 @@ def iter_general_fn(
 # ---------------------------------------------------------------------------
 
 
+def _blocks_equal(a: Any, b: Any) -> bool:
+    """One-block equality: arrays compare by value, everything else by ``==``.
+
+    NumPy blocks (anything with a ``dtype``) make ``!=`` elementwise and
+    its truth value ambiguous, so they go through ``np.array_equal`` —
+    which also equates an array block with an equal-valued plain
+    sequence, the convention the backends rely on (a codegen backend may
+    return a list where the vectorized tier returns an array).  Tuples
+    recurse so array-carrying pair states compare correctly.
+    """
+    if hasattr(a, "dtype") or hasattr(b, "dtype"):
+        import numpy as np
+
+        try:
+            return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+        except (TypeError, ValueError):
+            return False  # ragged / non-array-able counterpart
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            _blocks_equal(x, y) for x, y in zip(a, b))
+    return not a != b
+
+
 def defined_equal(xs: Sequence[Any], ys: Sequence[Any]) -> bool:
     """Equality modulo ``UNDEF``: an undefined block matches anything.
 
@@ -336,6 +359,6 @@ def defined_equal(xs: Sequence[Any], ys: Sequence[Any]) -> bool:
     for a, b in zip(xs, ys):
         if a is UNDEF or b is UNDEF:
             continue
-        if a != b:
+        if not _blocks_equal(a, b):
             return False
     return True

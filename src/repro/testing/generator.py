@@ -13,7 +13,12 @@ a generated program is well typed on the generated inputs:
 * ``seg``  — Blelloch-segmented ``(flag, value)`` pairs under
   ``seg[add]``/``seg[max]``; the segmented transformer preserves
   associativity but *destroys* commutativity, so these exercise the same
-  side conditions from a different algebra.
+  side conditions from a different algebra;
+* ``vec``  — fixed-length ``int64`` ndarray blocks under the elementwise
+  operators ``ew[add]``/``ew[max]`` — the domain of the bandwidth rules
+  (``allreduce ⇄ reduce_scatter ; allgatherv``), and the only domain the
+  vectorized/JIT backends accept natively (multi-element blocks enter the
+  kernel layer as arrays).
 
 The generator tracks block *definedness*: a ``reduce`` leaves non-root
 blocks undefined, so the only stages allowed to follow it are local maps
@@ -34,13 +39,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.core.cost import MachineParams
-from repro.core.operators import ADD, CONCAT, MAX, MIN, MUL, BinOp
+from repro.core.operators import (
+    ADD,
+    CONCAT,
+    EW_ADD,
+    EW_MAX,
+    MAX,
+    MIN,
+    MUL,
+    BinOp,
+)
 from repro.core.segmented import segmented_op
 from repro.core.stages import (
+    AllGatherVStage,
     AllReduceStage,
     BcastStage,
     MapStage,
     Program,
+    ReduceScatterStage,
     ReduceStage,
     ScanStage,
     Stage,
@@ -88,6 +104,17 @@ def _seg_value(rng: random.Random) -> tuple[bool, int]:
     return (rng.random() < 0.3, rng.randint(-3, 3))
 
 
+#: vec blocks share one fixed length — the elementwise operators require it
+_VEC_BLOCK_LEN = 4
+
+
+def _vec_value(rng: random.Random):
+    import numpy as np
+
+    return np.array([rng.randint(-3, 3) for _ in range(_VEC_BLOCK_LEN)],
+                    dtype=np.int64)
+
+
 INT_DOMAIN = Domain(
     name="int",
     value_gen=_int_value,
@@ -118,7 +145,20 @@ SEG_DOMAIN = Domain(
     },
 )
 
-DOMAINS: tuple[Domain, ...] = (INT_DOMAIN, LIST_DOMAIN, SEG_DOMAIN)
+VEC_DOMAIN = Domain(
+    name="vec",
+    value_gen=_vec_value,
+    ops=(EW_ADD, EW_MAX),
+    # the int-domain labels are elementwise on ndarray blocks too, and
+    # their registered map kernels make vec programs kernel-lowerable
+    maps={
+        "inc": (lambda x: x + 1, 1),
+        "dbl": (lambda x: 2 * x, 1),
+        "neg": (lambda x: -x, 1),
+    },
+)
+
+DOMAINS: tuple[Domain, ...] = (INT_DOMAIN, LIST_DOMAIN, SEG_DOMAIN, VEC_DOMAIN)
 _DOMAIN_BY_NAME = {d.name: d for d in DOMAINS}
 
 
@@ -279,6 +319,18 @@ RULE_CASES: tuple[RuleCase, ...] = (
              lambda: (BcastStage(), ScanStage(ADD), ScanStage(ADD))),
     RuleCase("BSS-Comcast", False, "list",
              lambda: (BcastStage(), ScanStage(CONCAT), ScanStage(CONCAT))),
+    # -- Bandwidth class (allreduce ⇄ reduce_scatter ; allgatherv) ----------
+    # every window ends with uniform block lengths, so random suffixes
+    # stay well typed (reduce_scatter alone would leave ranks with
+    # differently-sized segments, which the ew operators reject)
+    RuleCase("Decompose-Allreduce", True, "vec",
+             lambda: (AllReduceStage(EW_ADD),)),                    # elementwise
+    RuleCase("Decompose-Allreduce", False, "int",
+             lambda: (AllReduceStage(ADD),)),                       # scalar op
+    RuleCase("Compose-Allreduce", True, "vec",
+             lambda: (ReduceScatterStage(EW_ADD), AllGatherVStage())),
+    RuleCase("Compose-Allreduce", False, "vec",
+             lambda: (ReduceScatterStage(EW_ADD), BcastStage())),   # wrong shape
 )
 
 

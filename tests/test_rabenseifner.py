@@ -22,7 +22,7 @@ def run(fn, blocks, op, params=PARAMS):
 
 
 class TestSemantics:
-    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16, 32])
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 8, 12, 16, 32])
     def test_noncommutative_rank_order(self, p):
         n = 8
         blocks = [[f"<{r}.{j}>" for j in range(n)] for r in range(p)]
@@ -59,13 +59,19 @@ class TestSemantics:
                 want = MATMUL2(want, blocks[r][j])
             assert all(v[j] == want for v in res.values)
 
-    def test_rejects_non_power_of_two(self):
-        with pytest.raises(ValueError):
-            run(allreduce_rabenseifner, [[1], [1], [1]], ADD,
-                MachineParams(p=3, ts=1, tw=1, m=1))
+    @pytest.mark.parametrize("p", [3, 5, 6, 7, 12])
+    def test_non_power_of_two_folds(self, p):
+        # the former ValueError restriction is lifted: excess ranks fold
+        # pairwise into a power-of-two core and unfold afterwards
+        n = 6
+        blocks = [[(r * 13 + j) % 11 for j in range(n)] for r in range(p)]
+        res = run(allreduce_rabenseifner, blocks, ADD,
+                  MachineParams(p=p, ts=10, tw=1, m=n))
+        want = [sum(blocks[r][j] for r in range(p)) for j in range(n)]
+        assert all(list(v) == want for v in res.values)
 
     @given(
-        p=st.sampled_from([2, 4, 8]),
+        p=st.sampled_from([2, 3, 4, 5, 6, 8]),
         n=st.integers(1, 24),
         seed=st.integers(0, 999),
     )
